@@ -1,0 +1,58 @@
+// Shared driver for the application-level figures (5, 6, 7).
+//
+// For each (workload, node count): run the workload under the platform's
+// Linux environment and its McKernel environment with paired seeds, and
+// report McKernel's relative performance with Linux normalized to 1.0 —
+// the exact format of the paper's bar charts.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "cluster/bsp.h"
+#include "common/table.h"
+
+namespace hpcos::bench {
+
+struct FigureRow {
+  std::string workload;
+  std::int64_t nodes = 0;
+  double mckernel_relative = 0.0;  // Linux == 1.0
+  double stddev = 0.0;
+  double paper_value = 0.0;  // approximate value read off the figure
+};
+
+inline FigureRow run_point(const std::string& workload,
+                           apps::PlatformKind platform,
+                           const cluster::OsEnvironment& linux_env,
+                           const cluster::OsEnvironment& mck_env,
+                           std::int64_t nodes, double paper_value,
+                           int trials = 3, Seed seed = Seed{20211114}) {
+  const auto w = apps::make_workload(workload, platform);
+  const auto job = apps::job_geometry(workload, platform, nodes);
+  const auto rel = cluster::relative_performance(*w, linux_env, mck_env, job,
+                                                 trials, seed);
+  return FigureRow{.workload = workload,
+                   .nodes = nodes,
+                   .mckernel_relative = rel.mean_ratio,
+                   .stddev = rel.stddev_ratio,
+                   .paper_value = paper_value};
+}
+
+inline void print_figure(const std::string& title,
+                         const std::vector<FigureRow>& rows) {
+  print_banner(std::cout, title);
+  TextTable t({"workload", "nodes", "McKernel vs Linux", "stddev",
+               "paper (approx)"});
+  for (const auto& r : rows) {
+    t.add_row({r.workload, TextTable::fmt_int(r.nodes),
+               TextTable::fmt(r.mckernel_relative, 3),
+               TextTable::fmt(r.stddev, 3),
+               r.paper_value > 0 ? TextTable::fmt(r.paper_value, 2) : "-"});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace hpcos::bench

@@ -1,0 +1,106 @@
+// Ablation — system-call locality on the multi-kernel (§5, §5.1).
+//
+// On a full multi-kernel node DES (Linux + IHK + McKernel + proxy), times
+// three classes of call and reports the simulated round-trip as a counter:
+//   local       — a call McKernel implements itself (gettimeofday)
+//   offloaded   — a delegated call (stat) through IKC + proxy
+//   pico        — Tofu STAG registration with the PicoDriver vs offloaded
+// This quantifies the design choice the PicoDriver exists for: the offload
+// path costs microseconds per call, intolerable inside registration loops.
+#include <benchmark/benchmark.h>
+
+#include "cluster/node.h"
+#include "mckernel/offload.h"
+
+namespace {
+
+using namespace hpcos;
+
+// Runs `count` back-to-back invocations of one syscall on the LWK and
+// returns the mean simulated round-trip in us.
+double measure_syscall(os::Syscall no, os::SyscallArgs args, bool picodriver,
+                       int count) {
+  auto platform = hw::make_fugaku_testbed_platform();
+  auto lcfg = linuxk::make_fugaku_linux_config(platform);
+  lcfg.profile = noise::AnalyticNoiseProfile{};
+  auto mcfg = mck::McKernelConfig::defaults();
+  mcfg.hw_noise = noise::AnalyticNoiseProfile{};
+  mcfg.picodriver.enabled = picodriver;
+  auto node = cluster::SimNode::make_multikernel_node(
+      platform, std::move(lcfg), std::move(mcfg),
+      cluster::SimNodeOptions{.seed = Seed{11}});
+
+  struct Caller final : os::ThreadBody {
+    os::Syscall no;
+    os::SyscallArgs args;
+    int remaining;
+    SimTime start;
+    SimTime elapsed;
+    bool started = false;
+    void step(os::ThreadContext& ctx) override {
+      if (!started) {
+        started = true;
+        start = ctx.now();
+      }
+      if (remaining-- > 0) {
+        ctx.invoke(no, args);
+        return;
+      }
+      elapsed = ctx.now() - start;
+      ctx.exit();
+    }
+  };
+  auto body = std::make_unique<Caller>();
+  body->no = no;
+  body->args = args;
+  body->remaining = count;
+  Caller* c = body.get();
+  node->lwk()->spawn(std::move(body), os::SpawnAttrs{.name = "caller"});
+  node->simulator().run_until(SimTime::sec(30));
+  return c->elapsed.to_us() / count;
+}
+
+void BM_LocalSyscall(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = measure_syscall(os::Syscall::kGetTimeOfDay, {}, false, 100);
+  }
+  state.counters["sim_roundtrip_us"] = us;
+}
+
+void BM_OffloadedSyscall(benchmark::State& state) {
+  double us = 0;
+  for (auto _ : state) {
+    us = measure_syscall(os::Syscall::kStat, {}, false, 100);
+  }
+  state.counters["sim_roundtrip_us"] = us;
+}
+
+void BM_StagRegistrationOffloaded(benchmark::State& state) {
+  const os::SyscallArgs reg{.arg0 = 0, .arg1 = 64ull << 20,
+                            .arg2 = mck::kTofuRegisterStag};
+  double us = 0;
+  for (auto _ : state) {
+    us = measure_syscall(os::Syscall::kIoctl, reg, false, 50);
+  }
+  state.counters["sim_roundtrip_us"] = us;
+}
+
+void BM_StagRegistrationPicoDriver(benchmark::State& state) {
+  const os::SyscallArgs reg{.arg0 = 0, .arg1 = 64ull << 20,
+                            .arg2 = mck::kTofuRegisterStag};
+  double us = 0;
+  for (auto _ : state) {
+    us = measure_syscall(os::Syscall::kIoctl, reg, true, 50);
+  }
+  state.counters["sim_roundtrip_us"] = us;
+}
+
+BENCHMARK(BM_LocalSyscall)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OffloadedSyscall)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StagRegistrationOffloaded)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StagRegistrationPicoDriver)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

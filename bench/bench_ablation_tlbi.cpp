@@ -1,0 +1,94 @@
+// Ablation — remote-TLB invalidation strategies (§4.2.2).
+//
+// Drives the node DES through a munmap-style flush storm under the three
+// strategies and reports the *simulated* costs as counters:
+//   victim_delay_us   — extra wall time suffered by a busy bystander core
+//   initiator_us      — cost paid by the flushing core
+// google-benchmark's own timing measures host-side simulation throughput.
+//
+// Expected shape: broadcast costs victims 200 ns x flushes (the A64FX
+// problem); the RHEL 8.2 patch eliminates that for single-core processes;
+// the IPI path spares bystanders but charges ~2 us per victim core that
+// actually shares the mm.
+#include <benchmark/benchmark.h>
+
+#include "cluster/node.h"
+#include "noise/fwq.h"
+
+namespace {
+
+using namespace hpcos;
+
+struct StormOutcome {
+  double victim_delay_us;
+  double initiator_us;
+};
+
+StormOutcome run_storm(linuxk::TlbFlushMode mode, std::uint64_t flushes) {
+  auto platform = hw::make_fugaku_testbed_platform();
+  auto cfg = linuxk::make_fugaku_linux_config(platform);
+  cfg.profile = noise::AnalyticNoiseProfile{};  // quiet: isolate the storm
+  cfg.tlb_flush = mode;
+  auto node = cluster::SimNode::make_linux_node(
+      platform, std::move(cfg), cluster::SimNodeOptions{.seed = Seed{3}});
+
+  // Busy bystander pinned to an application core.
+  struct Victim final : os::ThreadBody {
+    SimTime done;
+    bool started = false;
+    void step(os::ThreadContext& ctx) override {
+      if (!started) {
+        started = true;
+        ctx.compute(SimTime::ms(50));
+        return;
+      }
+      done = ctx.now();
+      ctx.exit();
+    }
+  };
+  auto victim = std::make_unique<Victim>();
+  Victim* v = victim.get();
+  os::SpawnAttrs attrs;
+  attrs.affinity = hw::CpuSet::of(
+      static_cast<std::size_t>(node->topology().logical_cores()), {10});
+  node->linux().spawn(std::move(victim), std::move(attrs));
+  node->simulator().run_until(SimTime::ms(1));
+
+  const os::Pid pid = node->linux().create_process(os::ProcessAttrs{});
+  const SimTime initiator =
+      node->linux().tlb_shootdown(node->linux().process(pid),
+                                  /*initiator=*/2, flushes);
+  node->simulator().run_until(SimTime::sec(1));
+  return StormOutcome{
+      .victim_delay_us = (v->done - SimTime::ms(50)).to_us(),
+      .initiator_us = initiator.to_us(),
+  };
+}
+
+void BM_TlbiStrategy(benchmark::State& state) {
+  const auto mode = static_cast<linuxk::TlbFlushMode>(state.range(0));
+  const auto flushes = static_cast<std::uint64_t>(state.range(1));
+  StormOutcome out{};
+  for (auto _ : state) {
+    out = run_storm(mode, flushes);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["victim_delay_us"] = out.victim_delay_us;
+  state.counters["initiator_us"] = out.initiator_us;
+}
+
+void StrategyArgs(benchmark::internal::Benchmark* b) {
+  for (int mode : {0 /*kIpi*/, 1 /*kBroadcast*/, 2 /*kBroadcastPatched*/}) {
+    for (int flushes : {100, 1000, 10000}) {
+      b->Args({mode, flushes});
+    }
+  }
+}
+
+BENCHMARK(BM_TlbiStrategy)
+    ->Apply(StrategyArgs)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

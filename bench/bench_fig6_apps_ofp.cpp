@@ -1,0 +1,39 @@
+// Figure 6 — LQCD, GeoFEM and GAMERA on Oakforest-PACS.
+//
+// Paper shape: LQCD gain grows to ~1.25 at 2k nodes; GeoFEM stays small
+// (~1.00-1.06) up to full scale with large variance; GAMERA exceeds 1.25
+// at half scale (4,096 nodes).
+#include <iostream>
+
+#include "app_bench_util.h"
+
+int main() {
+  using namespace hpcos;
+  using bench::run_point;
+
+  const auto linux_env = cluster::make_ofp_linux_env();
+  const auto mck_env = cluster::make_ofp_mckernel_env();
+
+  struct Point {
+    std::int64_t nodes;
+    double paper;
+  };
+  const std::vector<std::pair<std::string, std::vector<Point>>> plan = {
+      {"LQCD", {{256, 1.08}, {512, 1.12}, {1024, 1.18}, {2048, 1.25}}},
+      {"GeoFEM",
+       {{512, 1.01}, {1024, 1.02}, {2048, 1.03}, {4096, 1.04}, {8192, 1.06}}},
+      {"GAMERA", {{512, 1.08}, {1024, 1.12}, {2048, 1.18}, {4096, 1.26}}},
+  };
+
+  std::vector<bench::FigureRow> rows;
+  for (const auto& [name, points] : plan) {
+    for (const auto& p : points) {
+      rows.push_back(run_point(name, apps::PlatformKind::kOfp, linux_env,
+                               mck_env, p.nodes, p.paper));
+    }
+  }
+  bench::print_figure(
+      "Figure 6: LQCD / GeoFEM / GAMERA on Oakforest-PACS (Linux = 1.0)",
+      rows);
+  return 0;
+}

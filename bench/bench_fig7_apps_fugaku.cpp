@@ -1,0 +1,69 @@
+// Figure 7 — LQCD, GeoFEM and GAMERA on Fugaku (highly tuned Linux).
+//
+// Paper shape: LQCD ~1.00 (identical), GeoFEM ~1.03 roughly constant,
+// GAMERA growing to ~1.29 at 8k nodes; ~4% average across everything.
+#include <iostream>
+
+#include "app_bench_util.h"
+
+int main() {
+  using namespace hpcos;
+  using bench::run_point;
+
+  const auto linux_env = cluster::make_fugaku_linux_env();
+  const auto mck_env = cluster::make_fugaku_mckernel_env();
+
+  struct Point {
+    std::int64_t nodes;
+    double paper;
+  };
+  const std::vector<std::pair<std::string, std::vector<Point>>> plan = {
+      {"LQCD", {{128, 1.00}, {512, 1.00}, {2048, 1.00}, {8192, 1.01}}},
+      {"GeoFEM", {{128, 1.03}, {512, 1.03}, {2048, 1.03}, {8192, 1.03}}},
+      {"GAMERA", {{128, 1.06}, {512, 1.10}, {2048, 1.18}, {8192, 1.29}}},
+  };
+
+  std::vector<bench::FigureRow> rows;
+  double sum = 0.0;
+  for (const auto& [name, points] : plan) {
+    for (const auto& p : points) {
+      rows.push_back(run_point(name, apps::PlatformKind::kFugaku, linux_env,
+                               mck_env, p.nodes, p.paper));
+      sum += rows.back().mckernel_relative;
+    }
+  }
+  bench::print_figure(
+      "Figure 7: LQCD / GeoFEM / GAMERA on Fugaku (Linux = 1.0)", rows);
+
+  // §6.4: "McKernel performs significantly better in the first step (out
+  // of three)" — the registration-heavy setup lands there. Reproduce the
+  // per-step view at 2,048 nodes.
+  {
+    const auto w = apps::make_workload("GAMERA", apps::PlatformKind::kFugaku);
+    const auto job =
+        apps::job_geometry("GAMERA", apps::PlatformKind::kFugaku, 2048);
+    cluster::BspEngine le(linux_env, job, Seed{77});
+    cluster::BspEngine me(mck_env, job, Seed{77});
+    const auto lr = le.run(*w);
+    const auto mr = me.run(*w);
+    hpcos::print_banner(std::cout,
+                        "GAMERA per-step breakdown at 2,048 nodes");
+    hpcos::TextTable steps({"step", "Linux (s)", "McKernel (s)",
+                            "McKernel relative"});
+    for (int step = 0; step < 3; ++step) {
+      const SimTime l = lr.step_time(step, 3);
+      const SimTime m = mr.step_time(step, 3);
+      steps.add_row({hpcos::TextTable::fmt_int(step + 1),
+                     hpcos::TextTable::fmt(l.to_sec(), 3),
+                     hpcos::TextTable::fmt(m.to_sec(), 3),
+                     hpcos::TextTable::fmt(l.ratio(m), 3)});
+    }
+    steps.print(std::cout);
+    std::cout << "(the gain concentrates in step 1, where registration-"
+                 "heavy setup lands — §6.4)\n";
+  }
+  std::cout << "\nAverage McKernel gain across Fugaku experiments: "
+            << hpcos::TextTable::fmt((sum / rows.size() - 1.0) * 100.0, 1)
+            << "% (paper: ~4% across all experiments)\n";
+  return 0;
+}

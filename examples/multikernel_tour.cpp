@@ -1,0 +1,133 @@
+// Multi-kernel tour: the IHK/McKernel lifecycle, step by step.
+//
+// Walks the §5 machinery explicitly instead of using the SimNode helper:
+//   1. boot Linux on the assistant cores,
+//   2. reserve application cores + memory through IHK (no reboot),
+//   3. create and boot an LWK (McKernel) instance over them,
+//   4. wire the IKC channels and the proxy-process offload path,
+//   5. run a program that mixes local and delegated syscalls,
+//   6. tear everything down and release the resources to the host.
+#include <iostream>
+
+#include "hw/platform.h"
+#include "ihk/ihk.h"
+#include "linuxk/linux_kernel.h"
+#include "mckernel/mckernel.h"
+#include "mckernel/offload.h"
+#include "noise/profiles.h"
+#include "oskernel/stall_bus.h"
+#include "sim/simulator.h"
+
+using namespace hpcos;
+
+namespace {
+
+// A small "application": computes, reads a file (delegated), maps and
+// frees memory (local), and exits.
+class MixedApp final : public os::ThreadBody {
+ public:
+  void step(os::ThreadContext& ctx) override {
+    switch (phase_++) {
+      case 0:
+        std::cout << "  [app] computing 2 ms on core " << ctx.core() << "\n";
+        ctx.compute(SimTime::ms(2));
+        return;
+      case 1:
+        std::cout << "  [app] open() -> delegated to Linux via IKC proxy\n";
+        ctx.invoke(os::Syscall::kOpen);
+        return;
+      case 2:
+        std::cout << "  [app] open served via "
+                  << (ctx.last_syscall().path ==
+                              os::SyscallResult::Path::kOffloaded
+                          ? "OFFLOAD"
+                          : "local")
+                  << " path; now mmap(64 MiB) -> LWK-local\n";
+        ctx.invoke(os::Syscall::kMmap, os::SyscallArgs{.arg0 = 64ull << 20});
+        return;
+      case 3:
+        addr_ = static_cast<std::uint64_t>(ctx.last_syscall().value);
+        std::cout << "  [app] mapped at 0x" << std::hex << addr_ << std::dec
+                  << " ("
+                  << (ctx.last_syscall().path ==
+                              os::SyscallResult::Path::kLocal
+                          ? "LOCAL"
+                          : "offloaded")
+                  << "); munmap\n";
+        ctx.invoke(os::Syscall::kMunmap,
+                   os::SyscallArgs{.arg0 = addr_, .arg1 = 64ull << 20});
+        return;
+      default:
+        std::cout << "  [app] done at t=" << ctx.now().to_string() << "\n";
+        ctx.exit();
+    }
+  }
+
+ private:
+  int phase_ = 0;
+  std::uint64_t addr_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  const auto platform = hw::make_fugaku_testbed_platform();
+  const auto& topo = platform.topology;
+  sim::Simulator sim;
+  os::ChipStallBus bus;
+
+  std::cout << "1. Booting Linux on the assistant cores ("
+            << topo.system_cores().to_string() << ")\n";
+  auto lcfg = linuxk::make_fugaku_linux_config(platform);
+  lcfg.profile = noise::strip_population_tails(lcfg.profile);
+  linuxk::LinuxKernel linux(sim, topo, topo.system_cores(), std::move(lcfg),
+                            Seed{1}, nullptr, &bus);
+  linux.boot();
+
+  std::cout << "2. IHK: reserving application cores ("
+            << topo.application_cores().to_string() << ") and 24 GiB\n";
+  ihk::IhkManager ihk_mgr(sim, topo, topo.all_cores(), topo.system_cores(),
+                          32ull << 30);
+  HPCOS_CHECK(ihk_mgr.partition().reserve_cpus(topo.application_cores()));
+  HPCOS_CHECK(ihk_mgr.partition().reserve_memory(24ull << 30));
+  std::cout << "   host keeps cpus "
+            << ihk_mgr.partition().remaining_host_cpus().to_string()
+            << " and "
+            << ihk_mgr.partition().remaining_host_memory() / (1ull << 30)
+            << " GiB\n";
+
+  std::cout << "3. Creating + booting the LWK instance\n";
+  const int os_id = ihk_mgr.create_os_instance(topo.application_cores(),
+                                               24ull << 30);
+  HPCOS_CHECK(os_id >= 0);
+  auto mcfg = mck::McKernelConfig::defaults();
+  mcfg.picodriver.enabled = true;
+  mck::McKernel lwk(sim, topo, topo.application_cores(), std::move(mcfg),
+                    Seed{2}, nullptr, &bus);
+  lwk.boot();
+  ihk_mgr.boot(os_id);
+  std::cout << "   instance " << os_id << " status: "
+            << to_string(ihk_mgr.instance(os_id).status) << "\n";
+
+  std::cout << "4. Wiring IKC + proxy-process delegation\n";
+  auto& inst = ihk_mgr.instance(os_id);
+  mck::SyscallOffloader offloader(lwk, linux, *inst.to_host, *inst.to_lwk,
+                                  topo.system_cores());
+
+  std::cout << "5. Running the mixed-syscall application on the LWK\n";
+  lwk.spawn(std::make_unique<MixedApp>(), os::SpawnAttrs{.name = "app"});
+  sim.run_until(SimTime::sec(1));
+  std::cout << "   offload round trips: " << offloader.replies()
+            << ", mean latency "
+            << offloader.roundtrip_us().mean() << " us; proxies spawned: "
+            << offloader.proxy_count() << "\n";
+
+  std::cout << "6. Shutdown: LWK stops, resources return to the host\n";
+  ihk_mgr.shutdown(os_id);
+  ihk_mgr.destroy(os_id);
+  std::cout << "   reserved cpus now: "
+            << ihk_mgr.partition().reserved_cpus().count()
+            << ", reserved memory: "
+            << ihk_mgr.partition().reserved_memory() << " bytes\n";
+  return 0;
+}

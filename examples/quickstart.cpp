@@ -1,0 +1,70 @@
+// Quickstart: boot a simulated Fugaku node twice — once as plain tuned
+// Linux, once as an IHK/McKernel multi-kernel — run the FWQ noise
+// benchmark on the application cores of each, and compare.
+//
+//   $ ./examples/quickstart
+//
+// This is the smallest end-to-end tour of the public API: platform
+// configs (hw::), node assembly (cluster::SimNode), the FWQ workload
+// (noise::), and the paper's noise metrics.
+#include <iostream>
+
+#include "cluster/node.h"
+#include "common/table.h"
+#include "noise/fwq.h"
+#include "noise/metrics.h"
+#include "noise/profiles.h"
+
+using namespace hpcos;
+
+namespace {
+
+noise::NoiseStats measure_node(cluster::SimNode& node) {
+  noise::FwqConfig fwq;
+  fwq.work_quantum = SimTime::from_ms(6.5);  // the paper's quantum
+  fwq.iterations = 5000;                     // ~32 s per core
+  const auto traces = noise::run_fwq(
+      node.app_kernel(), node.topology().application_cores(), fwq);
+  return noise::compute_noise_stats(traces);
+}
+
+}  // namespace
+
+int main() {
+  const auto platform = hw::make_fugaku_testbed_platform();
+
+  // --- configuration 1: the highly tuned Fugaku Linux (all §4
+  //     countermeasures on) running applications itself ---
+  auto linux_node = cluster::SimNode::make_linux_node(
+      platform, linuxk::make_fugaku_linux_config(platform),
+      cluster::SimNodeOptions{.seed = Seed{2021}});
+  const auto linux_stats = measure_node(*linux_node);
+
+  // --- configuration 2: the multi-kernel — Linux keeps the assistant
+  //     cores, IHK reserves the 48 application cores, McKernel boots on
+  //     them, and syscall delegation is wired through IKC proxies ---
+  auto mk_node = cluster::SimNode::make_multikernel_node(
+      platform, linuxk::make_fugaku_linux_config(platform),
+      mck::McKernelConfig::defaults(),
+      cluster::SimNodeOptions{.seed = Seed{2021}});
+  const auto mck_stats = measure_node(*mk_node);
+
+  print_banner(std::cout, "FWQ on one A64FX node: Linux vs IHK/McKernel");
+  TextTable t({"environment", "min iteration", "max noise length",
+               "noise rate (Eq. 2)"});
+  t.add_row({"Fugaku Linux (tuned)", linux_stats.t_min.to_string(),
+             linux_stats.max_noise_length.to_string(),
+             TextTable::fmt_sci(linux_stats.noise_rate, 2)});
+  t.add_row({"IHK/McKernel", mck_stats.t_min.to_string(),
+             mck_stats.max_noise_length.to_string(),
+             TextTable::fmt_sci(mck_stats.noise_rate, 2)});
+  t.print(std::cout);
+
+  std::cout << "\nThe LWK runs no ticks, daemons, or kernel threads on its "
+               "cores;\neven a highly tuned Linux keeps a small residual "
+               "(sar, residual ticks,\nshared-hardware contention). "
+               "Multi-kernel stats: "
+            << mk_node->lwk()->local_syscalls() << " local syscalls, "
+            << mk_node->lwk()->offloaded_syscalls() << " offloaded.\n";
+  return 0;
+}

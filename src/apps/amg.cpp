@@ -1,0 +1,38 @@
+#include "apps/amg.h"
+
+namespace hpcos::apps {
+
+cluster::RankWork Amg2013::rank_work(int iteration,
+                                     const cluster::JobConfig& job,
+                                     const cluster::OsEnvironment& env) const {
+  cluster::RankWork w;
+  // V-cycle: sum over levels of (1/2)^level of the fine-level work (down
+  // and up sweeps folded together).
+  double level_sum = 0.0;
+  for (int l = 0; l < params_.levels; ++l) {
+    level_sum += 1.0 / static_cast<double>(1 << l);
+  }
+  const double flops = params_.fine_level_flops_per_thread *
+                       static_cast<double>(job.threads_per_rank) * level_sum;
+  w.compute = compute_time_for(flops, job, env);
+  w.working_set_bytes = params_.working_set_per_thread *
+                        static_cast<std::uint64_t>(job.threads_per_rank);
+  w.mem_bound_fraction = params_.mem_bound_fraction;
+  // One latency-bound communication step per level: halo on the fine
+  // levels, a small allreduce on every level (convergence norms, coarse
+  // solves).
+  w.allreduces = params_.levels;
+  w.thread_barriers = 8;  // OpenMP joins inside the iteration
+  w.allreduce_bytes = 8;
+  w.halo_neighbors = 6;  // 3D structured-ish stencil on the fine level
+  w.halo_bytes = 256ull << 10;
+  w.imbalance_sigma = 0.015;
+  // Structured-grid fine levels allocate large aligned slabs: THP covers
+  // most of them even on the moderately tuned Linux.
+  w.large_page_coverage_hint = 0.85;
+  // First iteration touches the hierarchy (setup is folded into it).
+  if (iteration == 0) w.touch_bytes = w.working_set_bytes;
+  return w;
+}
+
+}  // namespace hpcos::apps

@@ -1,0 +1,38 @@
+// AMG2013 — parallel algebraic multigrid solver (CORAL; Henson & Yang).
+//
+// Model: one solve iteration is a V-cycle over `levels` grids. The fine
+// levels dominate compute; each coarser level halves the local work but
+// still costs a latency-bound communication step (halo + small allreduce),
+// which is why AMG is famously sensitive to network latency and OS noise
+// at scale while its per-iteration compute shrinks.
+#pragma once
+
+#include "apps/common.h"
+
+namespace hpcos::apps {
+
+struct AmgParams {
+  int iterations = 200;
+  int levels = 8;
+  // ~60k rows per rank-thread at ~500 flops each on the finest level.
+  double fine_level_flops_per_thread = 3.0e7;
+  std::uint64_t working_set_per_thread = 48ull << 20;
+  double mem_bound_fraction = 0.75;  // sparse MatVec is bandwidth bound
+};
+
+class Amg2013 final : public cluster::Workload {
+ public:
+  explicit Amg2013(AmgParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "AMG2013"; }
+  int iterations() const override { return params_.iterations; }
+
+  cluster::RankWork rank_work(
+      int iteration, const cluster::JobConfig& job,
+      const cluster::OsEnvironment& env) const override;
+
+ private:
+  AmgParams params_;
+};
+
+}  // namespace hpcos::apps

@@ -1,0 +1,29 @@
+// Shared helpers for the application models.
+//
+// Each model is a coarse but mechanistically faithful description of the
+// real code: per-iteration compute volume, working set (TLB reach),
+// allocation behaviour, and communication pattern. Absolute times are
+// derived from the platform's per-core throughput so the same model runs
+// plausibly on both machines; the study only interprets *relative*
+// (Linux vs McKernel, same platform) results.
+#pragma once
+
+#include "cluster/osenv.h"
+#include "cluster/workload.h"
+
+namespace hpcos::apps {
+
+// Convert a per-rank flop count into compute time on the environment's
+// cores (threads of a rank share the work).
+inline SimTime compute_time_for(double flops_per_rank,
+                                const cluster::JobConfig& job,
+                                const cluster::OsEnvironment& env) {
+  const double gflops =
+      env.platform.core_gflops * static_cast<double>(job.threads_per_rank);
+  return SimTime::from_sec(flops_per_rank / (gflops * 1e9));
+}
+
+inline std::uint64_t mib(std::uint64_t v) { return v << 20; }
+inline std::uint64_t gib(std::uint64_t v) { return v << 30; }
+
+}  // namespace hpcos::apps

@@ -1,0 +1,45 @@
+#include "apps/gamera.h"
+
+#include <cmath>
+
+namespace hpcos::apps {
+
+cluster::RankWork Gamera::rank_work(int iteration,
+                                    const cluster::JobConfig& job,
+                                    const cluster::OsEnvironment& env) const {
+  cluster::RankWork w;
+  const double flops =
+      params_.flops_per_thread_per_step /
+      static_cast<double>(params_.inner_iterations_per_step) *
+      static_cast<double>(job.threads_per_rank);
+  w.compute = compute_time_for(flops, job, env);
+  w.working_set_bytes = params_.working_set_per_thread *
+                        static_cast<std::uint64_t>(job.threads_per_rank);
+  w.mem_bound_fraction = params_.mem_bound_fraction;
+  // Per inner CG iteration: dot products plus the fine-level halo.
+  w.allreduces = 2;
+  w.thread_barriers = 8;  // OpenMP joins inside the iteration
+  w.allreduce_bytes = 8;
+  w.halo_neighbors = 12;  // tetrahedral partition adjacency
+  w.halo_bytes = 128ull << 10;
+  w.imbalance_sigma = 0.03;  // unstructured city-scale mesh
+  if (iteration == 0) w.touch_bytes = w.working_set_bytes;
+  return w;
+}
+
+cluster::InitWork Gamera::init_work(const cluster::JobConfig& job,
+                                    const cluster::OsEnvironment& env) const {
+  (void)env;
+  cluster::InitWork init;
+  init.serial_setup = SimTime::ms(500);  // mesh read + assembly
+  init.touch_bytes = params_.working_set_per_thread *
+                     static_cast<std::uint64_t>(job.threads_per_rank);
+  const double ranks = static_cast<double>(job.total_ranks());
+  init.rdma_registrations =
+      params_.reg_base +
+      static_cast<int>(params_.reg_sqrt_factor * std::sqrt(ranks));
+  init.rdma_bytes_each = params_.reg_bytes_each;
+  return init;
+}
+
+}  // namespace hpcos::apps

@@ -1,0 +1,34 @@
+#include "apps/geofem.h"
+
+namespace hpcos::apps {
+
+cluster::RankWork GeoFem::rank_work(int iteration,
+                                    const cluster::JobConfig& job,
+                                    const cluster::OsEnvironment& env) const {
+  cluster::RankWork w;
+  const double flops = params_.flops_per_thread *
+                       static_cast<double>(job.threads_per_rank);
+  w.compute = compute_time_for(flops, job, env);
+  w.working_set_bytes = params_.working_set_per_thread *
+                        static_cast<std::uint64_t>(job.threads_per_rank);
+  w.mem_bound_fraction = params_.mem_bound_fraction;
+  w.alloc_churn_bytes =
+      env.mem.heap == os::HeapBehavior::kReleaseToOs
+          ? params_.churn_bytes_per_rank
+          : params_.churn_bytes_per_rank / 64;
+  w.allreduces = 3;  // CG rho/alpha/convergence
+  w.thread_barriers = 8;  // OpenMP joins inside the iteration
+  w.allreduce_bytes = 8;
+  w.halo_neighbors = 6;
+  w.halo_bytes = 384ull << 10;
+  // Unstructured mesh partitions: visible run-to-run variation (the large
+  // error bars of Fig. 6b).
+  w.imbalance_sigma = 0.05;
+  // The OFP-optimized GeoFEM hugepage-aligns its matrix storage, so THP
+  // coverage is nearly total even on Linux.
+  w.large_page_coverage_hint = 0.98;
+  if (iteration == 0) w.touch_bytes = w.working_set_bytes;
+  return w;
+}
+
+}  // namespace hpcos::apps

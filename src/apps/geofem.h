@@ -1,0 +1,40 @@
+// GeoFEM — 3D linear elasticity by parallel FEM (Nakajima).
+//
+// ICCG solver: Conjugate Gradient preconditioned with Incomplete Cholesky
+// plus Additive-Schwarz domain decomposition. Heavily memory-bound sparse
+// triangular sweeps with long per-iteration phases — which is why OS noise
+// amortizes better here than in fine-grained codes, matching the modest,
+// roughly scale-constant ~3-6% McKernel gains (Fig. 6b / 7b). The paper
+// also reports large run-to-run variation even on McKernel; the model's
+// imbalance term carries that.
+#pragma once
+
+#include "apps/common.h"
+
+namespace hpcos::apps {
+
+struct GeoFemParams {
+  int iterations = 100;
+  double flops_per_thread = 3.2e8;  // IC sweeps are long
+  std::uint64_t working_set_per_thread = 96ull << 20;
+  double mem_bound_fraction = 0.85;
+  // Additive-Schwarz work vectors are reallocated per outer iteration.
+  std::uint64_t churn_bytes_per_rank = 24ull << 20;
+};
+
+class GeoFem final : public cluster::Workload {
+ public:
+  explicit GeoFem(GeoFemParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "GeoFEM"; }
+  int iterations() const override { return params_.iterations; }
+
+  cluster::RankWork rank_work(
+      int iteration, const cluster::JobConfig& job,
+      const cluster::OsEnvironment& env) const override;
+
+ private:
+  GeoFemParams params_;
+};
+
+}  // namespace hpcos::apps

@@ -1,0 +1,25 @@
+#include "apps/lqcd.h"
+
+namespace hpcos::apps {
+
+cluster::RankWork Lqcd::rank_work(int iteration,
+                                  const cluster::JobConfig& job,
+                                  const cluster::OsEnvironment& env) const {
+  cluster::RankWork w;
+  const double flops = params_.flops_per_thread *
+                       static_cast<double>(job.threads_per_rank);
+  w.compute = compute_time_for(flops, job, env);
+  w.working_set_bytes = params_.working_set_per_thread *
+                        static_cast<std::uint64_t>(job.threads_per_rank);
+  w.mem_bound_fraction = params_.mem_bound_fraction;
+  w.allreduces = 4;  // BiCGStab inner products per iteration
+  w.thread_barriers = 8;  // OpenMP joins inside the iteration
+  w.allreduce_bytes = 16;
+  w.halo_neighbors = 8;
+  w.halo_bytes = params_.halo_bytes;
+  w.imbalance_sigma = 0.008;  // regular lattice: very balanced
+  if (iteration == 0) w.touch_bytes = w.working_set_bytes;
+  return w;
+}
+
+}  // namespace hpcos::apps

@@ -1,0 +1,42 @@
+// LQCD — CCS QCD / QWS: O(a)-improved Wilson-Dirac BiCGStab solver.
+//
+// One of the Fugaku priority applications (both an x86 and a heavily
+// SVE-optimized aarch64 version exist; same science problem). Model:
+// BiCGStab iterations over a 4D lattice — two operator applications
+// (8-neighbor halo) and four global dot products per iteration. The
+// Fugaku version is strongly cache/register optimized (low memory-bound
+// fraction), which is why the OS page-size machinery barely matters there
+// and Linux ~= McKernel (Fig. 7a), while the x86 version on KNL is
+// memory-bound and noise-exposed (Fig. 6a).
+#pragma once
+
+#include "apps/common.h"
+
+namespace hpcos::apps {
+
+struct LqcdParams {
+  int iterations = 250;
+  double flops_per_thread = 5.5e7;
+  std::uint64_t working_set_per_thread = 40ull << 20;
+  // Set per platform by the registry: 0.75 on KNL, 0.25 on A64FX (SVE
+  // version keeps the hot loops in cache).
+  double mem_bound_fraction = 0.5;
+  std::uint64_t halo_bytes = 512ull << 10;
+};
+
+class Lqcd final : public cluster::Workload {
+ public:
+  explicit Lqcd(LqcdParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "LQCD"; }
+  int iterations() const override { return params_.iterations; }
+
+  cluster::RankWork rank_work(
+      int iteration, const cluster::JobConfig& job,
+      const cluster::OsEnvironment& env) const override;
+
+ private:
+  LqcdParams params_;
+};
+
+}  // namespace hpcos::apps

@@ -1,0 +1,32 @@
+#include "apps/lulesh.h"
+
+namespace hpcos::apps {
+
+cluster::RankWork Lulesh::rank_work(int iteration,
+                                    const cluster::JobConfig& job,
+                                    const cluster::OsEnvironment& env) const {
+  cluster::RankWork w;
+  const double flops = params_.flops_per_thread *
+                       static_cast<double>(job.threads_per_rank);
+  w.compute = compute_time_for(flops, job, env);
+  w.working_set_bytes = params_.working_set_per_thread *
+                        static_cast<std::uint64_t>(job.threads_per_rank);
+  w.mem_bound_fraction = params_.mem_bound_fraction;
+  // The heap churn only costs when the allocator releases to the OS;
+  // cached allocators (Fugaku runtime, McKernel) recycle silently. The
+  // engine prices it through env.mem, so we always report the volume.
+  w.alloc_churn_bytes =
+      env.mem.heap == os::HeapBehavior::kReleaseToOs
+          ? params_.churn_bytes_per_rank
+          : params_.churn_bytes_per_rank / 64;  // arena bookkeeping only
+  w.allreduces = 3;  // dt courant/hydro constraints
+  w.thread_barriers = 8;  // OpenMP joins inside the iteration
+  w.allreduce_bytes = 8;
+  w.halo_neighbors = 26;
+  w.halo_bytes = 96ull << 10;
+  w.imbalance_sigma = 0.02;  // Lagrangian meshes drift out of balance
+  if (iteration == 0) w.touch_bytes = w.working_set_bytes;
+  return w;
+}
+
+}  // namespace hpcos::apps

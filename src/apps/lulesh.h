@@ -1,0 +1,41 @@
+// LULESH — Livermore Unstructured Lagrangian Explicit Shock Hydro (CORAL).
+//
+// Model: explicit hydro timesteps with a dt-reduction (3 allreduces) and a
+// 26-neighbor ghost exchange per step. The distinguishing feature for this
+// study is the heap behaviour: LULESH allocates and frees large temporary
+// arrays every timestep. On Linux, glibc returns those blocks to the OS,
+// so every step re-mmaps, re-faults (THP), and shoots down sibling TLBs —
+// the "heap management issues in Linux" the paper names as the source of
+// McKernel's ~2x win (§6.4, [14]). On McKernel the physical memory stays
+// with the process and the churn is two cheap local syscalls.
+#pragma once
+
+#include "apps/common.h"
+
+namespace hpcos::apps {
+
+struct LuleshParams {
+  int iterations = 150;
+  double flops_per_thread = 4.5e7;
+  std::uint64_t working_set_per_thread = 56ull << 20;
+  double mem_bound_fraction = 0.7;
+  // Temporary-array churn per rank per timestep.
+  std::uint64_t churn_bytes_per_rank = 320ull << 20;
+};
+
+class Lulesh final : public cluster::Workload {
+ public:
+  explicit Lulesh(LuleshParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "Lulesh"; }
+  int iterations() const override { return params_.iterations; }
+
+  cluster::RankWork rank_work(
+      int iteration, const cluster::JobConfig& job,
+      const cluster::OsEnvironment& env) const override;
+
+ private:
+  LuleshParams params_;
+};
+
+}  // namespace hpcos::apps

@@ -1,0 +1,37 @@
+// MILC — SU(3) lattice QCD (MIMD Lattice Computation; CORAL/APEX).
+//
+// Model: conjugate-gradient sweeps over a 4D lattice. Every CG iteration
+// performs a Dslash operator application (8-neighbor halo exchange in 4D)
+// and two global dot products (allreduce). The small per-iteration
+// synchronization interval is what makes MILC noise-sensitive at scale.
+#pragma once
+
+#include "apps/common.h"
+
+namespace hpcos::apps {
+
+struct MilcParams {
+  int iterations = 250;        // CG iterations measured
+  // 16^4 sites per thread x ~1.2k flops per site per Dslash.
+  double flops_per_thread = 7.8e7;
+  std::uint64_t working_set_per_thread = 64ull << 20;
+  double mem_bound_fraction = 0.8;
+  std::uint64_t halo_bytes = 768ull << 10;  // 4D surface, SU(3) spinors
+};
+
+class Milc final : public cluster::Workload {
+ public:
+  explicit Milc(MilcParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "Milc"; }
+  int iterations() const override { return params_.iterations; }
+
+  cluster::RankWork rank_work(
+      int iteration, const cluster::JobConfig& job,
+      const cluster::OsEnvironment& env) const override;
+
+ private:
+  MilcParams params_;
+};
+
+}  // namespace hpcos::apps

@@ -1,0 +1,190 @@
+#include "cluster/bsp.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "noise/metrics.h"
+
+namespace hpcos::cluster {
+
+double RunResult::performance() const {
+  HPCOS_CHECK(!total.is_zero());
+  return static_cast<double>(iteration_times.size()) / total.to_sec();
+}
+
+SimTime RunResult::step_time(int step, int num_steps) const {
+  HPCOS_CHECK(num_steps >= 1 && step >= 0 && step < num_steps);
+  const std::size_t per_step = iteration_times.size() /
+                               static_cast<std::size_t>(num_steps);
+  HPCOS_CHECK_MSG(per_step > 0, "fewer iterations than steps");
+  SimTime t = step == 0 ? init_time : SimTime::zero();
+  const std::size_t begin = static_cast<std::size_t>(step) * per_step;
+  const std::size_t end = step == num_steps - 1 ? iteration_times.size()
+                                                : begin + per_step;
+  for (std::size_t i = begin; i < end; ++i) t += iteration_times[i];
+  return t;
+}
+
+BspEngine::BspEngine(const OsEnvironment& env, JobConfig job, Seed seed)
+    : env_(env),
+      job_(job),
+      seed_(seed),
+      collectives_(net::Fabric(env.fabric)),
+      rdma_(env.rdma) {
+  HPCOS_CHECK(job_.nodes >= 1);
+  HPCOS_CHECK(job_.ranks_per_node >= 1 && job_.threads_per_rank >= 1);
+}
+
+RunResult BspEngine::run(const Workload& workload) {
+  RunResult r;
+  r.workload = workload.name();
+  r.environment = env_.name;
+  r.job = job_;
+
+  RngStream rng(seed_, 0xB59);
+  MachineNoiseSampler noise(env_.profile, job_.nodes,
+                            job_.ranks_per_node * job_.threads_per_rank,
+                            rng.split(1));
+  const std::int64_t ranks = job_.total_ranks();
+
+  // ---- init phase ----
+  const InitWork init = workload.init_work(job_, env_);
+  SimTime init_time = init.serial_setup + env_.fault_in(init.touch_bytes);
+  if (init.rdma_registrations > 0) {
+    // Every rank performs its registrations serially; the job then
+    // barriers, so init completes at the slowest rank's pace. The tail of
+    // a single registration is what differs across paths (§5.1).
+    const SimTime median =
+        rdma_.median_cost(env_.rdma_path, init.rdma_bytes_each);
+    const SimTime rank_median = median * init.rdma_registrations;
+    const SimTime worst_single = rdma_.sample_worst_of(
+        env_.rdma_path, init.rdma_bytes_each,
+        static_cast<std::uint64_t>(ranks) *
+            static_cast<std::uint64_t>(init.rdma_registrations),
+        rng);
+    init_time += rank_median + (worst_single - median);
+  }
+  init_time += collectives_.barrier(ranks);
+  r.init_time = init_time;
+
+  // ---- iteration loop ----
+  const int iters = workload.iterations();
+  r.iteration_times.reserve(static_cast<std::size_t>(iters));
+  SimTime total = init_time;
+  for (int it = 0; it < iters; ++it) {
+    const RankWork w = workload.rank_work(it, job_, env_);
+
+    SimTime rank_time = w.compute.scaled(env_.tlb_compute_factor(
+        w.working_set_bytes, w.mem_bound_fraction,
+        w.large_page_coverage_hint));
+    rank_time += env_.fault_in(w.touch_bytes);
+    if (w.thread_barriers > 0) {
+      // Intra-rank OpenMP synchronization; Fugaku's runtime drives the
+      // A64FX hardware barrier (§4.1.5), other platforms use a software
+      // tree. Identical across the OSes of one platform — both expose the
+      // device — but part of the honest time composition.
+      const hw::HwBarrier barrier(env_.platform.hw_barrier);
+      rank_time +=
+          barrier.barrier_cost(job_.threads_per_rank) * w.thread_barriers;
+    }
+
+    // Heap churn: medians paid by everyone; the slowest rank's tail adds
+    // on top (the barrier waits for it).
+    SimTime churn_extra = SimTime::zero();
+    if (w.alloc_churn_bytes > 0) {
+      const SimTime med = env_.churn_median(w.alloc_churn_bytes);
+      rank_time += med;
+      noise::DurationDist churn_tail{
+          .median = med,
+          .sigma = env_.mem.churn_sigma,
+          .min = SimTime::zero(),
+          .max = med.scaled(env_.mem.churn_max_factor)};
+      churn_extra =
+          churn_tail.sample_max(static_cast<std::uint64_t>(ranks), rng) -
+          med;
+      if (churn_extra.is_negative()) churn_extra = SimTime::zero();
+    }
+
+    // Compute imbalance across ranks (application property, OS-neutral).
+    SimTime imbalance_extra = SimTime::zero();
+    if (w.imbalance_sigma > 0.0) {
+      noise::DurationDist imb{
+          .median = rank_time,
+          .sigma = w.imbalance_sigma,
+          .min = SimTime::zero(),
+          .max = rank_time.scaled(10.0)};
+      imbalance_extra =
+          imb.sample_max(static_cast<std::uint64_t>(ranks), rng) - rank_time;
+      if (imbalance_extra.is_negative()) imbalance_extra = SimTime::zero();
+    }
+
+    // OS noise across the machine during the busy window (Eq. 1).
+    const SimTime noise_delay = noise.sample_global_delay(rank_time);
+
+    // Communication.
+    SimTime comm = SimTime::zero();
+    if (w.allreduces > 0) {
+      comm += collectives_.allreduce(ranks, w.allreduce_bytes) *
+              w.allreduces;
+    }
+    if (w.halo_neighbors > 0) {
+      comm += net::Fabric(env_.fabric)
+                  .halo_exchange(w.halo_bytes, w.halo_neighbors);
+    }
+    if (w.barriers > 0) {
+      comm += collectives_.barrier(ranks) * w.barriers;
+    }
+
+    const SimTime iter_time =
+        rank_time + churn_extra + imbalance_extra + noise_delay + comm;
+    r.iteration_times.push_back(iter_time);
+    total += iter_time;
+  }
+  r.total = total;
+  return r;
+}
+
+double BspEngine::analytic_noise_delay(SimTime sync_interval) const {
+  std::vector<noise::NoiseGroup> groups;
+  for (const auto& s : env_.profile.sources) {
+    // Per-thread occurrence interval of the source.
+    SimTime interval = s.mean_interval;
+    if (s.scope == noise::SourceScope::kPerNodeRandomCore) {
+      interval = interval * (job_.ranks_per_node * job_.threads_per_rank);
+    }
+    if (s.node_fraction < 1.0) {
+      const double active =
+          static_cast<double>(job_.nodes) * s.node_fraction;
+      if (active < 1.0) continue;
+      // Concentrated on a subset: per-thread interval within that subset.
+    }
+    groups.push_back(noise::NoiseGroup{.length = s.duration.mean(),
+                                       .interval = interval});
+  }
+  return noise::bsp_noise_delay(
+      groups, sync_interval,
+      static_cast<std::uint64_t>(job_.total_threads()));
+}
+
+RelativeResult relative_performance(const Workload& workload,
+                                    const OsEnvironment& baseline,
+                                    const OsEnvironment& candidate,
+                                    JobConfig job, int trials, Seed seed) {
+  HPCOS_CHECK(trials >= 1);
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const Seed s{seed.value + static_cast<std::uint64_t>(t) * 0x9E37ull};
+    BspEngine base_engine(baseline, job, s);
+    BspEngine cand_engine(candidate, job, s);
+    const RunResult b = base_engine.run(workload);
+    const RunResult c = cand_engine.run(workload);
+    ratios.push_back(b.total.ratio(c.total));  // time ratio = perf ratio
+  }
+  OnlineStats st;
+  for (double v : ratios) st.add(v);
+  return RelativeResult{.mean_ratio = st.mean(), .stddev_ratio = st.stddev()};
+}
+
+}  // namespace hpcos::cluster

@@ -1,0 +1,75 @@
+// Bulk-synchronous-parallel cluster engine.
+//
+// Runs a Workload on a machine configuration under one OsEnvironment and
+// produces per-iteration and total times. Per iteration:
+//
+//   T_rank   = compute x TLB-mix factor
+//            + churn median + fault-in
+//   T_iter   = T_rank
+//            + (worst-rank imbalance extra)
+//            + (worst-rank churn-tail extra)
+//            + machine-wide noise delay over the busy window  (Eq. 1)
+//            + collectives (allreduce / halo / barrier)
+//
+// Every rank pays the medians; the barrier additionally waits for the
+// worst rank's tail terms, which is where scale enters.
+#pragma once
+
+#include <vector>
+
+#include "cluster/machine_noise.h"
+#include "cluster/osenv.h"
+#include "cluster/workload.h"
+#include "net/collectives.h"
+
+namespace hpcos::cluster {
+
+struct RunResult {
+  std::string workload;
+  std::string environment;
+  JobConfig job;
+  SimTime init_time;
+  std::vector<SimTime> iteration_times;
+  SimTime total;  // init + sum(iterations)
+
+  double total_seconds() const { return total.to_sec(); }
+  // Wall time of one of `num_steps` equal slices of the iteration loop,
+  // with the init phase folded into step 0 (how GAMERA's per-step numbers
+  // read: setup dominates the first time step, §6.4).
+  SimTime step_time(int step, int num_steps) const;
+  // Figure-of-merit used by the paper's relative plots: iterations per
+  // second of the solve loop (init included in `total` but the paper's
+  // metrics are dominated by the loop except for GAMERA).
+  double performance() const;
+};
+
+class BspEngine {
+ public:
+  BspEngine(const OsEnvironment& env, JobConfig job, Seed seed);
+
+  RunResult run(const Workload& workload);
+
+  // Expected fractional noise overhead for a given sync interval — the
+  // deterministic Eq. 1 view of this machine (used by tests/benches).
+  double analytic_noise_delay(SimTime sync_interval) const;
+
+ private:
+  const OsEnvironment& env_;
+  JobConfig job_;
+  Seed seed_;
+  net::Collectives collectives_;
+  net::RdmaRegistrationModel rdma_;
+};
+
+// Convenience: mean relative performance of `env` vs `baseline` over
+// `trials` seeded runs (the paper's bars: Linux normalized to 1.0).
+struct RelativeResult {
+  double mean_ratio = 0.0;   // candidate perf / baseline perf
+  double stddev_ratio = 0.0;
+};
+RelativeResult relative_performance(const Workload& workload,
+                                    const OsEnvironment& baseline,
+                                    const OsEnvironment& candidate,
+                                    JobConfig job, int trials, Seed seed);
+
+}  // namespace hpcos::cluster

@@ -1,0 +1,88 @@
+#include "cluster/machine_noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hpcos::cluster {
+
+MachineNoiseSampler::MachineNoiseSampler(
+    const noise::AnalyticNoiseProfile& profile, std::int64_t nodes,
+    int app_threads_per_node, RngStream rng)
+    : rng_(rng) {
+  HPCOS_CHECK(nodes >= 1 && app_threads_per_node >= 1);
+  const double total_threads =
+      static_cast<double>(nodes) * app_threads_per_node;
+
+  std::uint64_t src_idx = 0;
+  for (const auto& s : profile.sources) {
+    RngStream gate = rng_.split(src_idx++);
+    // Straggler gating: how many nodes exhibit this source at all.
+    double active_nodes = static_cast<double>(nodes);
+    if (s.node_fraction < 1.0) {
+      // Binomial(nodes, f); Poisson approximation is exact enough for the
+      // tiny fractions used (1e-4 of 158k nodes).
+      active_nodes = static_cast<double>(
+          gate.poisson(static_cast<double>(nodes) * s.node_fraction));
+      if (active_nodes == 0.0) continue;
+    }
+
+    ActiveSource as{.spec = s};
+    const auto interval_ns =
+        static_cast<double>(s.mean_interval.count_ns());
+    switch (s.scope) {
+      case noise::SourceScope::kPerCore:
+        // Independent process per thread.
+        as.arrivals_per_ns =
+            active_nodes * app_threads_per_node / interval_ns;
+        break;
+      case noise::SourceScope::kPerNodeRandomCore:
+      case noise::SourceScope::kAllCores:
+        // One process per node. (kAllCores delays every thread of the
+        // node at once; for the machine-wide max the worst single
+        // occurrence still dominates.)
+        as.arrivals_per_ns = active_nodes / interval_ns;
+        break;
+    }
+
+    // Expected per-thread overhead: arrivals x mean duration spread over
+    // the threads that absorb them.
+    const double mean_dur_ns =
+        static_cast<double>(s.duration.mean().count_ns());
+    const double absorbing_threads =
+        s.scope == noise::SourceScope::kAllCores
+            ? active_nodes  // every thread of a node pays, once per node
+            : total_threads;
+    expected_rate_ +=
+        as.arrivals_per_ns * mean_dur_ns / absorbing_threads *
+        (s.scope == noise::SourceScope::kAllCores ? 1.0
+                                                  : 1.0);  // symmetric form
+
+    sources_.push_back(std::move(as));
+  }
+
+  // Hardware jitter floor: the slowest of N threads sits ~sqrt(2 ln N)
+  // standard deviations out.
+  if (profile.base_jitter_sd > 0.0 || profile.base_jitter_mean > 0.0) {
+    const double z = std::sqrt(2.0 * std::log(std::max(2.0, total_threads)));
+    jitter_worst_fraction_ =
+        std::max(0.0, profile.base_jitter_mean + z * profile.base_jitter_sd);
+    expected_rate_ += profile.base_jitter_mean;
+  }
+}
+
+SimTime MachineNoiseSampler::sample_global_delay(SimTime window) {
+  SimTime worst = SimTime::zero();
+  const auto window_ns = static_cast<double>(window.count_ns());
+  for (auto& s : sources_) {
+    const std::uint64_t k = rng_.poisson(s.arrivals_per_ns * window_ns);
+    if (k == 0) continue;
+    worst = std::max(worst, s.spec.duration.sample_max(k, rng_));
+  }
+  return worst + window.scaled(jitter_worst_fraction_);
+}
+
+double MachineNoiseSampler::expected_rate() const { return expected_rate_; }
+
+}  // namespace hpcos::cluster

@@ -1,0 +1,92 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace hpcos {
+namespace {
+
+double transform_x(double x, bool log_x) {
+  return log_x ? std::log10(std::max(x, 1e-300)) : x;
+}
+
+}  // namespace
+
+void ascii_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                const PlotOptions& options) {
+  HPCOS_CHECK(options.width >= 8 && options.height >= 4);
+
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -min_x;
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -min_y;
+  bool any = false;
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double tx = transform_x(x, options.log_x);
+      min_x = std::min(min_x, tx);
+      max_x = std::max(max_x, tx);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+      any = true;
+    }
+  }
+  if (!any) {
+    os << "(no data)\n";
+    return;
+  }
+  if (max_x == min_x) max_x = min_x + 1.0;
+  if (max_y == min_y) max_y = min_y + 1.0;
+
+  const auto w = static_cast<std::size_t>(options.width);
+  const auto h = static_cast<std::size_t>(options.height);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+  for (const auto& s : series) {
+    for (const auto& [x, y] : s.points) {
+      const double fx =
+          (transform_x(x, options.log_x) - min_x) / (max_x - min_x);
+      const double fy = (y - min_y) / (max_y - min_y);
+      const auto col = std::min(
+          w - 1, static_cast<std::size_t>(fx * static_cast<double>(w - 1) +
+                                          0.5));
+      const auto row = std::min(
+          h - 1, static_cast<std::size_t>(fy * static_cast<double>(h - 1) +
+                                          0.5));
+      grid[h - 1 - row][col] = s.glyph;
+    }
+  }
+
+  char buf[64];
+  for (std::size_t r = 0; r < h; ++r) {
+    const double y =
+        max_y - (max_y - min_y) * static_cast<double>(r) /
+                    static_cast<double>(h - 1);
+    std::snprintf(buf, sizeof(buf), "%8.3g |", y);
+    os << buf << grid[r] << "\n";
+  }
+  os << std::string(10, ' ') << std::string(w, '-') << "\n";
+  const double left = options.log_x ? std::pow(10.0, min_x) : min_x;
+  const double right = options.log_x ? std::pow(10.0, max_x) : max_x;
+  std::snprintf(buf, sizeof(buf), "%-10.4g", left);
+  os << std::string(10, ' ') << buf;
+  const std::string xl =
+      options.x_label + (options.log_x ? " (log scale)" : "");
+  const int pad = static_cast<int>(w) - 10 - 10 -
+                  static_cast<int>(xl.size()) / 2;
+  os << std::string(static_cast<std::size_t>(std::max(1, pad)), ' ') << xl;
+  std::snprintf(buf, sizeof(buf), "%10.4g", right);
+  const int rpad = static_cast<int>(w) - 10 - static_cast<int>(xl.size()) -
+                   std::max(1, pad);
+  os << std::string(static_cast<std::size_t>(std::max(1, rpad)), ' ') << buf
+     << "\n";
+  for (const auto& s : series) {
+    os << "  " << s.glyph << " = " << s.label << "\n";
+  }
+}
+
+}  // namespace hpcos

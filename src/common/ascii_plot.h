@@ -1,0 +1,31 @@
+// Terminal plotting for the figure benches.
+//
+// Renders multiple (x, y) series as an ASCII grid — enough to *see* a
+// CDF's shape (Figure 4) or a time series in a terminal or CI log.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpcos {
+
+struct PlotSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<std::pair<double, double>> points;
+};
+
+struct PlotOptions {
+  int width = 72;    // plot columns (excluding axis labels)
+  int height = 20;   // plot rows
+  bool log_x = false;
+  std::string x_label;
+  std::string y_label;
+};
+
+// Render all series on shared axes (ranges derived from the data).
+void ascii_plot(std::ostream& os, const std::vector<PlotSeries>& series,
+                const PlotOptions& options);
+
+}  // namespace hpcos

@@ -1,0 +1,41 @@
+// Runtime validation helpers.
+//
+// Per the project's error-handling policy: programming errors and violated
+// invariants throw hpcos::SimError (the substrate is a research tool, not a
+// long-running service, so fail-fast with a message beats error codes).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpcos {
+
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw SimError(std::string("HPCOS_CHECK failed: ") + expr + " at " + file +
+                 ":" + std::to_string(line) + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace hpcos
+
+// Always-on invariant check (cheap conditions only on hot paths).
+#define HPCOS_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::hpcos::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                  \
+  } while (false)
+
+#define HPCOS_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::hpcos::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (false)

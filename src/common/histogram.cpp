@@ -1,0 +1,177 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcos {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           std::size_t num_bins)
+    : log_min_(std::log(min_value)),
+      log_max_(std::log(max_value)),
+      counts_(num_bins, 0) {
+  if (!(min_value > 0.0) || !(max_value > min_value) || num_bins == 0) {
+    throw std::invalid_argument("LogHistogram: bad range or bin count");
+  }
+}
+
+std::size_t LogHistogram::bin_index(double value) const {
+  if (value <= 0.0) return 0;
+  const double lv = std::log(value);
+  if (lv <= log_min_) return 0;
+  if (lv >= log_max_) return counts_.size() - 1;
+  const double frac = (lv - log_min_) / (log_max_ - log_min_);
+  const auto idx =
+      static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  return std::min(idx, counts_.size() - 1);
+}
+
+void LogHistogram::add_n(double value, std::uint64_t n) {
+  if (n == 0) return;
+  if (total_ == 0) {
+    observed_min_ = value;
+    observed_max_ = value;
+  } else {
+    observed_min_ = std::min(observed_min_, value);
+    observed_max_ = std::max(observed_max_, value);
+  }
+  counts_[bin_index(value)] += n;
+  total_ += n;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.counts_.size() != counts_.size() || other.log_min_ != log_min_ ||
+      other.log_max_ != log_max_) {
+    throw std::invalid_argument("LogHistogram::merge: incompatible layout");
+  }
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    observed_min_ = other.observed_min_;
+    observed_max_ = other.observed_max_;
+  } else {
+    observed_min_ = std::min(observed_min_, other.observed_min_);
+    observed_max_ = std::max(observed_max_, other.observed_max_);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double LogHistogram::bin_lower(std::size_t i) const {
+  const double frac =
+      static_cast<double>(i) / static_cast<double>(counts_.size());
+  return std::exp(log_min_ + frac * (log_max_ - log_min_));
+}
+
+double LogHistogram::bin_upper(std::size_t i) const { return bin_lower(i + 1); }
+
+double LogHistogram::bin_center(std::size_t i) const {
+  return std::sqrt(bin_lower(i) * bin_upper(i));
+}
+
+double LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  const double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= target) {
+      return std::min(bin_upper(i), observed_max_);
+    }
+  }
+  return observed_max_;
+}
+
+std::vector<std::pair<double, double>> LogHistogram::cdf_points() const {
+  std::vector<std::pair<double, double>> out;
+  if (total_ == 0) return out;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    cum += counts_[i];
+    out.emplace_back(bin_upper(i),
+                     static_cast<double>(cum) / static_cast<double>(total_));
+  }
+  return out;
+}
+
+void EmpiricalCdf::add_all(std::span<const double> vs) {
+  samples_.insert(samples_.end(), vs.begin(), vs.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::merge(const EmpiricalCdf& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::fraction_at_or_below(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return percentile_from_sorted(q);
+}
+
+double EmpiricalCdf::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::cdf_points(
+    std::size_t num) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || num == 0) return out;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  if (lo == hi) {
+    out.emplace_back(lo, 1.0);
+    return out;
+  }
+  out.reserve(num);
+  for (std::size_t i = 0; i < num; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(num - 1);
+    out.emplace_back(x, fraction_at_or_below(x));
+  }
+  return out;
+}
+
+std::span<const double> EmpiricalCdf::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+double EmpiricalCdf::percentile_from_sorted(double q) const {
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const double rank =
+      clamped * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+}  // namespace hpcos

@@ -1,0 +1,56 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace hpcos {
+
+std::size_t default_parallelism() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t threads) {
+  if (count == 0) return;
+  if (threads == 0) threads = default_parallelism();
+  threads = std::min(threads, count);
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    // Dynamic chunking: grab modest chunks so stragglers (nodes with busy
+    // noise traces) don't serialize the run.
+    const std::size_t chunk = std::max<std::size_t>(1, count / (threads * 8));
+    for (;;) {
+      const std::size_t begin = next.fetch_add(chunk);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + chunk, count);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace hpcos

@@ -1,0 +1,28 @@
+// Host-side parallelism for the cluster engine.
+//
+// Node simulations are embarrassingly parallel and deterministic by
+// construction (each node owns its RNG streams and event queue), so a static
+// chunked parallel_for is all we need: results land in caller-provided,
+// index-addressed storage with no cross-thread shared mutable state.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpcos {
+
+// Number of worker threads to use by default: hardware concurrency, at
+// least 1.
+std::size_t default_parallelism();
+
+// Invoke fn(i) for every i in [0, count) across up to `threads` workers.
+// Exceptions from workers are captured and the first one is rethrown on the
+// calling thread after all workers join.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace hpcos

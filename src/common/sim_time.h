@@ -1,0 +1,108 @@
+// Strongly-typed simulated time.
+//
+// The whole substrate runs on a single discrete clock measured in integer
+// nanoseconds. Using a dedicated type (rather than raw int64_t or
+// std::chrono::nanoseconds) keeps instants and durations from silently mixing
+// with unrelated integers, while remaining trivially copyable and cheap.
+//
+// SimTime is used both for instants (time since simulation start) and for
+// durations; the simulation epoch is always zero so the distinction carries
+// no information here and a single type keeps the arithmetic simple.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+namespace hpcos {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  // Named constructors; the argument is in the named unit.
+  static constexpr SimTime ns(std::int64_t v) { return SimTime{v}; }
+  static constexpr SimTime us(std::int64_t v) { return SimTime{v * 1'000}; }
+  static constexpr SimTime ms(std::int64_t v) { return SimTime{v * 1'000'000}; }
+  static constexpr SimTime sec(std::int64_t v) {
+    return SimTime{v * 1'000'000'000};
+  }
+  // Fractional-unit constructors (round to nearest nanosecond).
+  static constexpr SimTime from_us(double v) {
+    return SimTime{round_i64(v * 1e3)};
+  }
+  static constexpr SimTime from_ms(double v) {
+    return SimTime{round_i64(v * 1e6)};
+  }
+  static constexpr SimTime from_sec(double v) {
+    return SimTime{round_i64(v * 1e9)};
+  }
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime{ns_ * k}; }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime{ns_ / k}; }
+  // Scale by a real factor, rounding to the nearest nanosecond.
+  constexpr SimTime scaled(double f) const {
+    return SimTime{round_i64(static_cast<double>(ns_) * f)};
+  }
+  // Ratio of two durations (dimensionless).
+  constexpr double ratio(SimTime denom) const {
+    return static_cast<double>(ns_) / static_cast<double>(denom.ns_);
+  }
+
+  // Human-readable rendering with an auto-selected unit, e.g. "6.5ms".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) : ns_(v) {}
+  static constexpr std::int64_t round_i64(double v) {
+    return static_cast<std::int64_t>(v >= 0 ? v + 0.5 : v - 0.5);
+  }
+
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+namespace literals {
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return SimTime::ns(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return SimTime::us(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return SimTime::ms(static_cast<std::int64_t>(v));
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return SimTime::sec(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+}  // namespace hpcos

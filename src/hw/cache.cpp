@@ -1,0 +1,58 @@
+#include "hw/cache.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hpcos::hw {
+
+SectorCache::SectorCache(CacheParams params) : params_(params) {
+  HPCOS_CHECK(params_.capacity_bytes > 0);
+  HPCOS_CHECK(params_.num_sectors >= 1);
+}
+
+bool SectorCache::partition(int system_sectors) {
+  if (!supports_partitioning()) return false;
+  HPCOS_CHECK(system_sectors >= 0 && system_sectors < params_.num_sectors);
+  system_sectors_ = system_sectors;
+  return true;
+}
+
+std::uint64_t SectorCache::application_capacity() const {
+  const int app_sectors = params_.num_sectors - system_sectors_;
+  return params_.capacity_bytes *
+         static_cast<std::uint64_t>(app_sectors) /
+         static_cast<std::uint64_t>(params_.num_sectors);
+}
+
+std::uint64_t SectorCache::system_capacity() const {
+  return params_.capacity_bytes - application_capacity();
+}
+
+double SectorCache::miss_fraction(std::uint64_t working_set_bytes,
+                                  std::uint64_t capacity_bytes) {
+  if (capacity_bytes == 0) return 1.0;
+  if (working_set_bytes <= capacity_bytes) return 0.0;
+  const double ratio = static_cast<double>(capacity_bytes) /
+                       static_cast<double>(working_set_bytes);
+  return std::sqrt(1.0 - ratio);
+}
+
+double SectorCache::interference_slowdown(
+    std::uint64_t app_working_set, std::uint64_t interference_bytes) const {
+  const std::uint64_t app_cap = application_capacity();
+  // With partitioning, OS data lives in its own sectors and cannot displace
+  // application lines.
+  const std::uint64_t effective_interference =
+      partitioned() ? 0 : interference_bytes;
+  const double baseline = miss_fraction(app_working_set, app_cap);
+  const double contended = miss_fraction(
+      app_working_set + effective_interference, app_cap);
+  const double extra_miss = std::max(0.0, contended - baseline);
+  const double hit_ns = static_cast<double>(params_.hit_latency.count_ns());
+  const double miss_ns = static_cast<double>(params_.miss_latency.count_ns());
+  return 1.0 + extra_miss * (miss_ns - hit_ns) / miss_ns;
+}
+
+}  // namespace hpcos::hw

@@ -1,0 +1,59 @@
+// CPU mask, modeled after the Linux kernel's cpumask_t.
+//
+// Used wherever the real systems use affinity masks: cgroup cpusets, IRQ
+// smp_affinity, kworker binding, blk_mq_hw_ctx.cpumask, and IHK's core
+// reservation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/ids.h"
+
+namespace hpcos::hw {
+
+class CpuSet {
+ public:
+  CpuSet() = default;
+  explicit CpuSet(std::size_t num_cores);
+
+  // Construct from an explicit list of core ids ("taskset -c 2,3,7" style).
+  static CpuSet of(std::size_t num_cores, std::initializer_list<CoreId> ids);
+  // All cores set.
+  static CpuSet all(std::size_t num_cores);
+  // Contiguous range [first, last] inclusive, like "0-47".
+  static CpuSet range(std::size_t num_cores, CoreId first, CoreId last);
+
+  std::size_t capacity() const { return bits_.size(); }
+  bool test(CoreId id) const;
+  void set(CoreId id, bool value = true);
+  void clear();
+
+  std::size_t count() const;
+  bool empty() const { return count() == 0; }
+  bool any() const { return !empty(); }
+
+  // First set core, or kInvalidCore when empty.
+  CoreId first() const;
+  // Next set core strictly after `id`, or kInvalidCore.
+  CoreId next(CoreId id) const;
+  std::vector<CoreId> to_vector() const;
+
+  CpuSet operator&(const CpuSet& o) const;
+  CpuSet operator|(const CpuSet& o) const;
+  // Cores in *this but not in o.
+  CpuSet minus(const CpuSet& o) const;
+  bool intersects(const CpuSet& o) const;
+  bool contains(const CpuSet& o) const;
+  bool operator==(const CpuSet& o) const = default;
+
+  // "0-47" / "48,49" style rendering, mirroring /sys cpulist files.
+  std::string to_string() const;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+}  // namespace hpcos::hw

@@ -1,0 +1,17 @@
+#include "hw/hwbarrier.h"
+
+#include <bit>
+#include <cstdint>
+
+namespace hpcos::hw {
+
+SimTime HwBarrier::barrier_cost(int threads, bool use_hardware) const {
+  if (threads <= 1) return SimTime::zero();
+  if (params_.available && use_hardware) return params_.hw_latency;
+  // Software tree barrier: ceil(log2(threads)) levels of line ping-pong.
+  const auto levels = static_cast<std::int64_t>(
+      std::bit_width(static_cast<std::uint32_t>(threads - 1)));
+  return params_.sw_per_level * levels;
+}
+
+}  // namespace hpcos::hw

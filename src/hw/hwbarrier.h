@@ -1,0 +1,39 @@
+// A64FX hardware barrier device (§4.1.5).
+//
+// The A64FX provides an intra-node hardware synchronization unit used by
+// Fugaku's OpenMP runtime; platforms without it fall back to a software
+// tree barrier over cache lines. The cost model is what the workload
+// simulations consume: time for T threads to synchronize once.
+#pragma once
+
+#include "common/sim_time.h"
+
+namespace hpcos::hw {
+
+struct HwBarrierParams {
+  bool available = false;
+  // Latency of one hardware-assisted barrier, independent of thread count
+  // within a barrier blade (CMG).
+  SimTime hw_latency = SimTime::ns(200);
+  // Per-level cost of the software fallback (one cache-line round trip per
+  // tree level).
+  SimTime sw_per_level = SimTime::ns(120);
+};
+
+class HwBarrier {
+ public:
+  explicit HwBarrier(HwBarrierParams params) : params_(params) {}
+
+  const HwBarrierParams& params() const { return params_; }
+  bool available() const { return params_.available; }
+
+  // Cost for `threads` threads to pass one barrier. `use_hardware` is
+  // honored only when the device exists (the runtime integration on Fugaku
+  // uses it by default; McKernel and Linux both expose it).
+  SimTime barrier_cost(int threads, bool use_hardware = true) const;
+
+ private:
+  HwBarrierParams params_;
+};
+
+}  // namespace hpcos::hw

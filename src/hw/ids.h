@@ -1,0 +1,20 @@
+// Identifier types shared across the hardware and kernel models.
+#pragma once
+
+#include <cstdint>
+
+namespace hpcos::hw {
+
+// Logical CPU index within one node (SMT threads count individually, as the
+// OS sees them: 0..271 on a KNL node, 0..49/51 on an A64FX node).
+using CoreId = std::int32_t;
+inline constexpr CoreId kInvalidCore = -1;
+
+// NUMA domain index within one node.
+using NumaId = std::int32_t;
+inline constexpr NumaId kInvalidNuma = -1;
+
+// Compute node index within a cluster.
+using NodeId = std::int64_t;
+
+}  // namespace hpcos::hw

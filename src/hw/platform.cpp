@@ -1,0 +1,213 @@
+#include "hw/platform.h"
+
+#include "common/check.h"
+
+namespace hpcos::hw {
+
+std::string to_string(InterconnectKind k) {
+  switch (k) {
+    case InterconnectKind::kOmniPath:
+      return "Intel OmniPath";
+    case InterconnectKind::kTofuD:
+      return "Fujitsu TofuD";
+  }
+  return "?";
+}
+
+std::string to_string(LargePageMechanism m) {
+  switch (m) {
+    case LargePageMechanism::kThp:
+      return "THP";
+    case LargePageMechanism::kHugeTlbFs:
+      return "HugeTLBfs";
+  }
+  return "?";
+}
+
+PlatformConfig make_ofp_platform() {
+  // 68 physical cores, 4-way SMT -> 272 logical CPUs.
+  PlatformConfig p(NodeTopology("KNL", 68, 4));
+  p.name = "Oakforest-PACS";
+  p.cpu_model = "Intel Xeon Phi 7250 Knights Landing (KNL)";
+  p.isa = "x86_64";
+
+  // Quadrant-flat mode: all cores on the DDR4 NUMA domain (node 0), MCDRAM
+  // exposed as a CPU-less NUMA domain (node 1).
+  const auto logical = static_cast<std::size_t>(p.topology.logical_cores());
+  p.topology.add_numa_domain(NumaDomain{
+      .id = 0,
+      .cores = CpuSet::all(logical),
+      .memory_bytes = 96_GiB,
+  });
+  p.topology.add_numa_domain(NumaDomain{
+      .id = 1,
+      .cores = CpuSet(logical),
+      .memory_bytes = 16_GiB,
+  });
+
+  // The designated system CPUs on OFP are the 4 hyperthreads of physical
+  // cores 0-3 (the appendix excludes 0-3,68-71,136-139,204-207 from MPI
+  // pinning); the remaining 256 logical CPUs are the application set.
+  CpuSet system_cpus(logical);
+  for (int t = 0; t < 4; ++t) {
+    for (int c = 0; c < 4; ++c) system_cpus.set(c + t * 68);
+  }
+  p.topology.set_core_partition(system_cpus,
+                                CpuSet::all(logical).minus(system_cpus));
+
+  p.tlb = TlbParams{
+      .l1_entries = 64,
+      .l2_entries = 64,
+      .walk_cost = SimTime::ns(250),   // KNL's walker is slow
+      .hit_access = SimTime::ns(150),  // DDR4-class latency on KNL
+      .has_broadcast_tlbi = false,     // x86: IPI shootdown only
+      .broadcast_stall_per_flush = SimTime::zero(),
+      .ipi_shootdown_per_core = SimTime::us(3),
+      .local_flush_cost = SimTime::ns(40),
+  };
+
+  p.cache = CacheParams{
+      .capacity_bytes = 34_MiB,  // 1 MiB L2 per 2-core tile x 34 tiles
+      .num_sectors = 1,          // no partitioning support
+      .hit_latency = SimTime::ns(20),
+      .miss_latency = SimTime::ns(150),
+  };
+
+  p.memory.add_region(MemoryRegion{
+      .numa = 0,
+      .params = {.kind = MemoryKind::kDdr4,
+                 .capacity_bytes = 96_GiB,
+                 .bandwidth_bytes_per_sec = 90ull * 1000 * 1000 * 1000,
+                 .latency = SimTime::ns(150)}});
+  p.memory.add_region(MemoryRegion{
+      .numa = 1,
+      .params = {.kind = MemoryKind::kMcdram,
+                 .capacity_bytes = 16_GiB,
+                 .bandwidth_bytes_per_sec = 480ull * 1000 * 1000 * 1000,
+                 .latency = SimTime::ns(170)}});
+
+  p.hw_barrier = HwBarrierParams{.available = false,
+                                 .hw_latency = SimTime::zero(),
+                                 .sw_per_level = SimTime::ns(150)};
+  p.pmu = PmuParams{};
+  p.core_gflops = 3.0;  // sustained per-core estimate; relative results only
+
+  p.linux_settings = LinuxRuntimeSettings{
+      .distribution = "CentOS 7.3",
+      .kernel_version = "3.10.0-693.11.6",
+      .containerized = false,
+      .nohz_full_app_cores = true,
+      .cgroup_cpu_isolation = false,
+      .irq_steered_to_os_cores = false,
+      .large_pages = LargePageMechanism::kThp,
+  };
+
+  p.num_compute_nodes = 8192;
+  p.peak_pflops = 25.0;
+  p.interconnect = InterconnectKind::kOmniPath;
+  return p;
+}
+
+namespace {
+
+PlatformConfig make_a64fx_node(int assistant_cores) {
+  HPCOS_CHECK(assistant_cores == 2 || assistant_cores == 4);
+  const int total_cores = 48 + assistant_cores;
+  PlatformConfig p(NodeTopology("A64FX", total_cores, /*smt_ways=*/1));
+  p.name = "Fugaku";
+  p.cpu_model = "Fujitsu A64FX";
+  p.isa = "aarch64";
+  const auto logical = static_cast<std::size_t>(total_cores);
+
+  // Assistant cores are the low core ids; the 48 application cores are
+  // organized as 4 CMGs of 12 cores. Each CMG has an 8 GiB HBM2 slice;
+  // virtual NUMA additionally carves a system slice out of the first CMG's
+  // memory (modeled as a fifth, system-flagged domain).
+  const std::uint64_t cmg_mem = 8_GiB;
+  const std::uint64_t system_mem = 2_GiB;
+  for (int cmg = 0; cmg < 4; ++cmg) {
+    const CoreId first = assistant_cores + cmg * 12;
+    NumaDomain d{
+        .id = cmg,
+        .cores = CpuSet::range(logical, first, first + 11),
+        .memory_bytes = cmg == 0 ? cmg_mem - system_mem : cmg_mem,
+    };
+    p.topology.add_numa_domain(std::move(d));
+  }
+  p.topology.add_numa_domain(NumaDomain{
+      .id = 4,
+      .cores = CpuSet::range(logical, 0, assistant_cores - 1),
+      .memory_bytes = system_mem,
+      .is_system_domain = true,
+  });
+
+  p.topology.set_core_partition(
+      CpuSet::range(logical, 0, assistant_cores - 1),
+      CpuSet::range(logical, assistant_cores, total_cores - 1));
+
+  p.tlb = TlbParams{
+      .l1_entries = 16,
+      .l2_entries = 1024,
+      .walk_cost = SimTime::ns(170),
+      .hit_access = SimTime::ns(120),  // HBM2 latency
+      .has_broadcast_tlbi = true,
+      // §4.2.2: "a delay of about 200 ns is generated by a single TLB flush
+      // instruction" on other cores.
+      .broadcast_stall_per_flush = SimTime::ns(200),
+      .ipi_shootdown_per_core = SimTime::us(2),
+      .local_flush_cost = SimTime::ns(25),
+  };
+
+  p.cache = CacheParams{
+      .capacity_bytes = 32_MiB,  // 8 MiB L2 per CMG x 4
+      .num_sectors = 4,          // A64FX sector cache
+      .hit_latency = SimTime::ns(12),
+      .miss_latency = SimTime::ns(120),
+  };
+
+  for (int cmg = 0; cmg < 4; ++cmg) {
+    p.memory.add_region(MemoryRegion{
+        .numa = cmg,
+        .params = {.kind = MemoryKind::kHbm2,
+                   .capacity_bytes = cmg_mem,
+                   .bandwidth_bytes_per_sec = 256ull * 1000 * 1000 * 1000,
+                   .latency = SimTime::ns(120)}});
+  }
+
+  p.hw_barrier = HwBarrierParams{.available = true,
+                                 .hw_latency = SimTime::ns(200),
+                                 .sw_per_level = SimTime::ns(120)};
+  p.pmu = PmuParams{};
+  p.core_gflops = 20.0;  // sustained SVE-512 per-core estimate
+
+  p.linux_settings = LinuxRuntimeSettings{
+      .distribution = "RedHat Enterprise Linux 8.3",
+      .kernel_version = "4.18.0-240.8.1.el8_3",
+      .containerized = true,
+      .nohz_full_app_cores = true,
+      .cgroup_cpu_isolation = true,
+      .irq_steered_to_os_cores = true,
+      .large_pages = LargePageMechanism::kHugeTlbFs,
+  };
+
+  p.num_compute_nodes = 158976;
+  p.peak_pflops = 488.0;
+  p.interconnect = InterconnectKind::kTofuD;
+  return p;
+}
+
+}  // namespace
+
+PlatformConfig make_fugaku_platform(int assistant_cores) {
+  return make_a64fx_node(assistant_cores);
+}
+
+PlatformConfig make_fugaku_testbed_platform() {
+  PlatformConfig p = make_a64fx_node(/*assistant_cores=*/2);
+  p.name = "A64FX-testbed";
+  p.num_compute_nodes = 16;
+  p.peak_pflops = 488.0 * 16.0 / 158976.0;
+  return p;
+}
+
+}  // namespace hpcos::hw

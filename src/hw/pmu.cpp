@@ -1,0 +1,13 @@
+#include "hw/pmu.h"
+
+namespace hpcos::hw {
+
+PmuCounters PmuCounters::delta_since(const PmuCounters& earlier) const {
+  PmuCounters d;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    d.values[i] = values[i] - earlier.values[i];
+  }
+  return d;
+}
+
+}  // namespace hpcos::hw

@@ -1,0 +1,60 @@
+#include "hw/tlb.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hpcos::hw {
+
+std::string to_string(PageSize p) {
+  switch (p) {
+    case PageSize::k4K:
+      return "4K";
+    case PageSize::k64K:
+      return "64K";
+    case PageSize::k2M:
+      return "2M";
+    case PageSize::k512M:
+      return "512M";
+  }
+  return "?";
+}
+
+TlbModel::TlbModel(TlbParams params) : params_(params) {
+  HPCOS_CHECK(params_.l2_entries > 0);
+}
+
+std::uint64_t TlbModel::reach_bytes(PageSize page) const {
+  return static_cast<std::uint64_t>(params_.l2_entries) * bytes(page);
+}
+
+double TlbModel::miss_fraction(std::uint64_t working_set_bytes,
+                               PageSize page) const {
+  const std::uint64_t reach = reach_bytes(page);
+  if (working_set_bytes <= reach) return 0.0;
+  // Under a uniform access stream with LRU, accesses to the covered portion
+  // hit and the remainder misses with probability ~1 (capacity misses).
+  const double uncovered = static_cast<double>(working_set_bytes - reach) /
+                           static_cast<double>(working_set_bytes);
+  return std::clamp(uncovered, 0.0, 1.0);
+}
+
+double TlbModel::access_slowdown(std::uint64_t working_set_bytes,
+                                 PageSize page) const {
+  const double miss = miss_fraction(working_set_bytes, page);
+  const double hit_ns = static_cast<double>(params_.hit_access.count_ns());
+  const double walk_ns = static_cast<double>(params_.walk_cost.count_ns());
+  return 1.0 + miss * walk_ns / hit_ns;
+}
+
+SimTime TlbModel::broadcast_stall(std::uint64_t flushes) const {
+  if (!params_.has_broadcast_tlbi) return SimTime::zero();
+  return params_.broadcast_stall_per_flush *
+         static_cast<std::int64_t>(flushes);
+}
+
+SimTime TlbModel::local_flush(std::uint64_t flushes) const {
+  return params_.local_flush_cost * static_cast<std::int64_t>(flushes);
+}
+
+}  // namespace hpcos::hw

@@ -1,0 +1,88 @@
+// Translation Lookaside Buffer model.
+//
+// The paper's Table 1 calls out the TLB geometry as the key architectural
+// difference between the two platforms (KNL: 64 L2 entries; A64FX: 1,024),
+// and §4.2.2 measures the A64FX broadcast-TLBI penalty at ~200 ns per flush
+// instruction on *other* cores. This model carries exactly those quantities:
+// address-translation slowdown as a function of working set and page size,
+// and the cost of the two remote-invalidation mechanisms (ARM64 inner-
+// sharable broadcast vs x86-style IPI shootdown).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace hpcos::hw {
+
+// Page sizes that appear in the study. Values are bytes.
+enum class PageSize : std::uint64_t {
+  k4K = 4ull * 1024,            // x86 base page
+  k64K = 64ull * 1024,          // RHEL aarch64 base page
+  k2M = 2ull * 1024 * 1024,     // THP (x86) / contiguous-bit group (aarch64)
+  k512M = 512ull * 1024 * 1024  // aarch64 regular huge page at 64K base
+};
+
+constexpr std::uint64_t bytes(PageSize p) {
+  return static_cast<std::uint64_t>(p);
+}
+std::string to_string(PageSize p);
+
+struct TlbParams {
+  int l1_entries = 0;
+  int l2_entries = 0;
+  // Average cost of a hardware page-table walk on a last-level TLB miss.
+  SimTime walk_cost = SimTime::ns(200);
+  // Average DRAM/HBM access latency for a TLB hit; used to turn miss rates
+  // into slowdown factors for memory-bound phases.
+  SimTime hit_access = SimTime::ns(90);
+  // True when the ISA offers a broadcast invalidate (ARM64 TLBI IS); x86
+  // must interrupt every core instead.
+  bool has_broadcast_tlbi = false;
+  // Observed stall suffered by EVERY OTHER core per broadcast TLBI
+  // instruction (~200 ns on A64FX per §4.2.2).
+  SimTime broadcast_stall_per_flush = SimTime::ns(0);
+  // Cost of the IPI-and-local-flush software path, per interrupted core.
+  SimTime ipi_shootdown_per_core = SimTime::us(2);
+  // Cost of one local (non-broadcast) TLBI executed by the initiator.
+  SimTime local_flush_cost = SimTime::ns(20);
+};
+
+class TlbModel {
+ public:
+  explicit TlbModel(TlbParams params);
+
+  const TlbParams& params() const { return params_; }
+
+  // Bytes of address space covered by the last-level TLB at this page size.
+  std::uint64_t reach_bytes(PageSize page) const;
+
+  // Fraction of memory accesses that miss the TLB for a working set of the
+  // given size with accesses spread uniformly across it. Zero when the
+  // reach covers the working set; otherwise proportional to the uncovered
+  // fraction (LRU over a uniform stream keeps the hot `reach` resident).
+  double miss_fraction(std::uint64_t working_set_bytes, PageSize page) const;
+
+  // Multiplier (>= 1.0) on the time of a memory-bound phase caused by
+  // translation overhead.
+  double access_slowdown(std::uint64_t working_set_bytes, PageSize page) const;
+
+  // Stall injected into each *other* running core by `flushes` consecutive
+  // broadcast TLBI instructions. Zero if the ISA lacks broadcast TLBI.
+  SimTime broadcast_stall(std::uint64_t flushes) const;
+
+  // Total initiator-side cost of flushing locally `flushes` times.
+  SimTime local_flush(std::uint64_t flushes) const;
+
+  // Per-victim cost of an IPI-based shootdown round (x86 path, or the
+  // hypothetical ARM64 software path §4.2.2 dismisses as slower).
+  SimTime ipi_shootdown_per_core() const {
+    return params_.ipi_shootdown_per_core;
+  }
+
+ private:
+  TlbParams params_;
+};
+
+}  // namespace hpcos::hw

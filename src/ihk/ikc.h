@@ -1,0 +1,61 @@
+// Inter-Kernel Communication (IKC).
+//
+// IHK's IKC layer carries system-call delegation traffic between McKernel
+// and Linux: a doorbell interrupt plus a shared-memory message queue. The
+// model is a unidirectional channel with a fixed one-way latency (doorbell
+// IPI + queue handling); the pair of channels forms the offload path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/sim_time.h"
+#include "oskernel/syscall.h"
+#include "oskernel/types.h"
+#include "sim/simulator.h"
+
+namespace hpcos::ihk {
+
+struct IkcMessage {
+  std::uint64_t seq = 0;
+  // LWK-side thread awaiting the reply (carried through so the reply
+  // handler can wake it).
+  os::ThreadId sender = os::kInvalidThread;
+  os::Pid sender_pid = os::kInvalidPid;
+  os::SyscallRequest request;
+  os::SyscallResult result;
+  bool is_reply = false;
+  SimTime sent_at;
+};
+
+class IkcChannel {
+ public:
+  using Handler = std::function<void(const IkcMessage&)>;
+
+  IkcChannel(sim::Simulator& simulator, std::string name, SimTime latency);
+
+  // Destination-side delivery callback; must be set before post().
+  void set_receiver(Handler handler) { receiver_ = std::move(handler); }
+
+  // Enqueue a message; delivered (receiver invoked) after the channel
+  // latency. Messages never reorder: delivery inherits the simulator's
+  // FIFO tie-breaking for equal timestamps.
+  void post(IkcMessage message);
+
+  const std::string& name() const { return name_; }
+  SimTime latency() const { return latency_; }
+  std::uint64_t messages_posted() const { return posted_; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  SimTime latency_;
+  Handler receiver_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t posted_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace hpcos::ihk

@@ -1,0 +1,79 @@
+#include "linuxk/blkmq.h"
+
+#include "common/check.h"
+
+namespace hpcos::linuxk {
+
+BlkMq::BlkMq(os::NodeKernel& kernel, int num_hw_queues)
+    : kernel_(kernel),
+      core_to_ctx_(static_cast<std::size_t>(
+                       kernel.topology().logical_cores()),
+                   -1),
+      per_core_(static_cast<std::size_t>(kernel.topology().logical_cores()),
+                0) {
+  HPCOS_CHECK(num_hw_queues > 0);
+  const auto owned = kernel.owned_cores().to_vector();
+  HPCOS_CHECK(!owned.empty());
+  const int queues =
+      std::min<int>(num_hw_queues, static_cast<int>(owned.size()));
+  contexts_.resize(static_cast<std::size_t>(queues));
+  rr_last_.assign(static_cast<std::size_t>(queues), hw::kInvalidCore);
+  for (int q = 0; q < queues; ++q) {
+    contexts_[static_cast<std::size_t>(q)].index = q;
+    contexts_[static_cast<std::size_t>(q)].cpumask =
+        hw::CpuSet(static_cast<std::size_t>(
+            kernel.topology().logical_cores()));
+  }
+  // Stripe cores over contexts, matching blk-mq's default cpu->queue map.
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    const int q = static_cast<int>(i) % queues;
+    contexts_[static_cast<std::size_t>(q)].cpumask.set(owned[i]);
+    core_to_ctx_[static_cast<std::size_t>(owned[i])] = q;
+  }
+}
+
+void BlkMq::bind_all_contexts(const hw::CpuSet& cores) {
+  const hw::CpuSet target = cores & kernel_.owned_cores();
+  HPCOS_CHECK_MSG(target.any(),
+                  "blk-mq bind target excludes all owned cores");
+  for (auto& ctx : contexts_) {
+    ctx.cpumask = target;
+  }
+}
+
+void BlkMq::complete_io(hw::CoreId submitting_core, SimTime completion_work) {
+  HPCOS_CHECK(submitting_core >= 0 &&
+              static_cast<std::size_t>(submitting_core) <
+                  core_to_ctx_.size());
+  const int q = core_to_ctx_[static_cast<std::size_t>(submitting_core)];
+  HPCOS_CHECK_MSG(q >= 0, "submitting core has no blk-mq context");
+  BlkMqHwCtx& ctx = contexts_[static_cast<std::size_t>(q)];
+
+  hw::CoreId core = ctx.cpumask.next(rr_last_[static_cast<std::size_t>(q)]);
+  if (core == hw::kInvalidCore) core = ctx.cpumask.first();
+  HPCOS_CHECK(core != hw::kInvalidCore);
+  rr_last_[static_cast<std::size_t>(q)] = core;
+
+  ++ctx.completions;
+  ++per_core_[static_cast<std::size_t>(core)];
+  kernel_.interrupt_core(core, completion_work, sim::TraceCategory::kBlkMq,
+                         "blk_mq/hctx" + std::to_string(q));
+}
+
+const BlkMqHwCtx& BlkMq::context_for(hw::CoreId core) const {
+  HPCOS_CHECK(core >= 0 &&
+              static_cast<std::size_t>(core) < core_to_ctx_.size());
+  const int q = core_to_ctx_[static_cast<std::size_t>(core)];
+  HPCOS_CHECK_MSG(q >= 0, "core has no blk-mq context");
+  return contexts_[static_cast<std::size_t>(q)];
+}
+
+std::uint64_t BlkMq::completions_on(hw::CoreId core) const {
+  if (core < 0 ||
+      static_cast<std::size_t>(core) >= per_core_.size()) {
+    return 0;
+  }
+  return per_core_[static_cast<std::size_t>(core)];
+}
+
+}  // namespace hpcos::linuxk

@@ -1,0 +1,62 @@
+#include "linuxk/cgroup.h"
+
+#include "common/check.h"
+#include "oskernel/kernel.h"
+
+namespace hpcos::linuxk {
+
+bool MemoryCgroup::try_charge(std::uint64_t bytes) {
+  if (limit_ != 0 && usage_ + bytes > limit_) return false;
+  usage_ += bytes;
+  return true;
+}
+
+void MemoryCgroup::uncharge(std::uint64_t bytes) {
+  HPCOS_CHECK_MSG(bytes <= usage_, "memcg uncharge below zero");
+  usage_ -= bytes;
+}
+
+CpusetCgroup& CgroupManager::create_cpuset(std::string name, hw::CpuSet cpus,
+                                           std::vector<hw::NumaId> mems) {
+  HPCOS_CHECK_MSG(cpus.any(), "cpuset cgroup needs at least one cpu");
+  auto [it, _] = cpusets_.insert_or_assign(
+      name, CpusetCgroup{name, std::move(cpus), std::move(mems)});
+  return it->second;
+}
+
+MemoryCgroup& CgroupManager::create_memory(std::string name,
+                                           std::uint64_t limit_bytes) {
+  auto [it, _] =
+      memories_.insert_or_assign(name, MemoryCgroup(name, limit_bytes));
+  return it->second;
+}
+
+CpusetCgroup* CgroupManager::find_cpuset(const std::string& name) {
+  auto it = cpusets_.find(name);
+  return it == cpusets_.end() ? nullptr : &it->second;
+}
+
+MemoryCgroup* CgroupManager::find_memory(const std::string& name) {
+  auto it = memories_.find(name);
+  return it == memories_.end() ? nullptr : &it->second;
+}
+
+void CgroupManager::attach(os::NodeKernel& kernel, os::ThreadId tid,
+                           const std::string& cpuset_name) {
+  CpusetCgroup* cg = find_cpuset(cpuset_name);
+  HPCOS_CHECK_MSG(cg != nullptr, "attach to unknown cpuset cgroup");
+  kernel.set_affinity(tid, cg->cpus);
+}
+
+void CgroupManager::assign_memory_cgroup(os::Pid pid,
+                                         const std::string& name) {
+  HPCOS_CHECK_MSG(find_memory(name) != nullptr, "unknown memory cgroup");
+  process_memcg_[pid] = name;
+}
+
+MemoryCgroup* CgroupManager::memory_cgroup_of(os::Pid pid) {
+  auto it = process_memcg_.find(pid);
+  return it == process_memcg_.end() ? nullptr : find_memory(it->second);
+}
+
+}  // namespace hpcos::linuxk

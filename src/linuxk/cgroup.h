@@ -1,0 +1,79 @@
+// Linux control groups (the subset the study leans on).
+//
+// Fugaku isolates system from application work with two cgroups (§4.1.1,
+// §4.2): a cpuset controller binding members to a core/NUMA partition and
+// a memory controller limiting application memory. Docker creates these
+// under the hood; the cluster job launcher models that by instantiating a
+// CgroupManager per node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hw/cpuset.h"
+#include "oskernel/types.h"
+
+namespace hpcos::os {
+class NodeKernel;
+}
+
+namespace hpcos::linuxk {
+
+// cpuset controller: a core mask plus allowed NUMA memory nodes.
+struct CpusetCgroup {
+  std::string name;
+  hw::CpuSet cpus;
+  std::vector<hw::NumaId> mems;
+};
+
+// memory controller: usage accounting against a limit.
+class MemoryCgroup {
+ public:
+  MemoryCgroup(std::string name, std::uint64_t limit_bytes)
+      : name_(std::move(name)), limit_(limit_bytes) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t limit_bytes() const { return limit_; }
+  std::uint64_t usage_bytes() const { return usage_; }
+
+  // Attempt to charge; fails (and leaves usage unchanged) past the limit.
+  bool try_charge(std::uint64_t bytes);
+  void uncharge(std::uint64_t bytes);
+
+ private:
+  std::string name_;
+  std::uint64_t limit_;
+  std::uint64_t usage_ = 0;
+};
+
+// Registry of the node's cgroups and thread membership.
+class CgroupManager {
+ public:
+  // Create (or replace) a cpuset cgroup.
+  CpusetCgroup& create_cpuset(std::string name, hw::CpuSet cpus,
+                              std::vector<hw::NumaId> mems);
+  // Create (or replace) a memory cgroup.
+  MemoryCgroup& create_memory(std::string name, std::uint64_t limit_bytes);
+
+  CpusetCgroup* find_cpuset(const std::string& name);
+  MemoryCgroup* find_memory(const std::string& name);
+
+  // Attach a thread to a cpuset: its affinity is narrowed to the cgroup's
+  // cpus immediately (the mechanism behind "bind daemons to assistant
+  // cores").
+  void attach(os::NodeKernel& kernel, os::ThreadId tid,
+              const std::string& cpuset_name);
+
+  // Record/lookup which memory cgroup a process charges to.
+  void assign_memory_cgroup(os::Pid pid, const std::string& name);
+  MemoryCgroup* memory_cgroup_of(os::Pid pid);
+
+ private:
+  std::map<std::string, CpusetCgroup> cpusets_;
+  std::map<std::string, MemoryCgroup> memories_;
+  std::map<os::Pid, std::string> process_memcg_;
+};
+
+}  // namespace hpcos::linuxk

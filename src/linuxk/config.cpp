@@ -1,0 +1,72 @@
+#include "linuxk/config.h"
+
+namespace hpcos::linuxk {
+
+SyscallCostTable::SyscallCostTable() {
+  costs_.fill(SimTime::us(1));
+  using S = os::Syscall;
+  set(S::kRead, SimTime::ns(1500));
+  set(S::kWrite, SimTime::ns(1500));
+  set(S::kOpen, SimTime::us(3));
+  set(S::kClose, SimTime::ns(800));
+  set(S::kStat, SimTime::ns(1500));
+  set(S::kMmap, SimTime::us(2));
+  set(S::kMunmap, SimTime::ns(1500));
+  set(S::kBrk, SimTime::ns(600));
+  set(S::kFutex, SimTime::ns(900));
+  set(S::kClone, SimTime::us(15));
+  set(S::kExitGroup, SimTime::us(10));
+  set(S::kGetTimeOfDay, SimTime::ns(40));  // vDSO
+  set(S::kSchedYield, SimTime::ns(300));
+  set(S::kNanosleep, SimTime::ns(1200));
+  set(S::kIoctl, SimTime::us(3));
+  set(S::kPerfEventOpen, SimTime::us(10));
+  set(S::kSignal, SimTime::ns(700));
+  set(S::kKill, SimTime::us(2));
+}
+
+LinuxConfig make_fugaku_linux_config(const hw::PlatformConfig& platform,
+                                     const noise::Countermeasures& cm) {
+  LinuxConfig c;
+  c.costs = os::KernelCosts{};  // RHEL-class costs
+  c.tick_period = SimTime::ms(10);  // 100 Hz
+  c.nohz_full_cores = platform.topology.application_cores();
+  c.base_page_size = hw::PageSize::k64K;
+  c.thp_enabled = false;  // Fugaku uses hugeTLBfs instead (§4.1.3)
+  c.hugetlbfs = HugeTlbFsConfig{
+      .enabled = true,
+      .page_size = hw::PageSize::k2M,
+      .reserved_pages = 0,     // no boot pool: overcommit from the buddy
+      .overcommit = true,
+      .max_surplus_pages = 0,  // unlimited surplus
+      .cgroup_charge_hook = true,
+  };
+  c.tlb_flush = cm.suppress_global_tlbi ? TlbFlushMode::kBroadcastPatched
+                                        : TlbFlushMode::kBroadcast;
+  c.tlb = platform.tlb;
+  c.profile = noise::fugaku_linux_profile(cm);
+  c.system_cores = platform.topology.system_cores();
+  return c;
+}
+
+LinuxConfig make_ofp_linux_config(const hw::PlatformConfig& platform) {
+  LinuxConfig c;
+  c.costs = os::KernelCosts{};
+  // CentOS 7 x86_64: 1000 Hz tick on ticking cores.
+  c.tick_period = SimTime::ms(1);
+  c.nohz_full_cores = platform.topology.application_cores();
+  c.base_page_size = hw::PageSize::k4K;
+  c.thp_enabled = true;  // OFP relies on THP (Table 1)
+  c.hugetlbfs.enabled = false;
+  c.tlb_flush = TlbFlushMode::kIpi;
+  c.tlb = platform.tlb;
+  // The 3.10-era kernel's slower paths.
+  c.costs.context_switch = SimTime::ns(2500);
+  c.costs.page_fault_base = SimTime::from_us(1.8);
+  c.costs.page_fault_large = SimTime::us(12);
+  c.profile = noise::ofp_linux_profile();
+  c.system_cores = platform.topology.system_cores();
+  return c;
+}
+
+}  // namespace hpcos::linuxk

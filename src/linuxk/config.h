@@ -1,0 +1,87 @@
+// Configuration of the simulated Linux kernel.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "hw/cpuset.h"
+#include "hw/platform.h"
+#include "hw/tlb.h"
+#include "noise/profiles.h"
+#include "oskernel/costs.h"
+#include "oskernel/syscall.h"
+
+namespace hpcos::linuxk {
+
+// Per-syscall base service times (kernel time beyond the trap overhead).
+class SyscallCostTable {
+ public:
+  SyscallCostTable();
+
+  SimTime get(os::Syscall no) const {
+    return costs_[static_cast<std::size_t>(no)];
+  }
+  void set(os::Syscall no, SimTime cost) {
+    costs_[static_cast<std::size_t>(no)] = cost;
+  }
+
+ private:
+  std::array<SimTime, static_cast<std::size_t>(os::Syscall::kCount)> costs_;
+};
+
+// How the kernel invalidates remote TLB entries on address-space changes.
+enum class TlbFlushMode : std::uint8_t {
+  kIpi,                 // x86: IPI + local flush on every core of the mm
+  kBroadcast,           // ARM64 TLBI inner-sharable, stalls the whole chip
+  kBroadcastPatched,    // RHEL 8.2 fix: local flush for single-core mms,
+                        // broadcast otherwise (§4.2.2)
+};
+
+struct HugeTlbFsConfig {
+  bool enabled = false;
+  hw::PageSize page_size = hw::PageSize::k2M;  // contiguous-bit groups
+  std::uint64_t reserved_pages = 0;            // boot-time pool
+  bool overcommit = false;                     // surplus from the buddy
+  std::uint64_t max_surplus_pages = 0;         // 0 = unlimited
+  // The kernel-module hook of §4.1.3 that charges surplus pages to the
+  // memory cgroup (stock RHEL lacks this).
+  bool cgroup_charge_hook = false;
+};
+
+struct LinuxConfig {
+  os::KernelCosts costs;
+  SyscallCostTable syscalls;
+
+  // Scheduling.
+  SimTime tick_period = SimTime::ms(10);     // 100 Hz (RHEL 8 aarch64)
+  SimTime residual_tick_period = SimTime::sec(1);
+  hw::CpuSet nohz_full_cores;                // ticks suppressed when quiet
+  SimTime cfs_sched_granularity = SimTime::ms(3);
+  SimTime cfs_sleeper_credit = SimTime::ms(10);
+
+  // Memory management.
+  hw::PageSize base_page_size = hw::PageSize::k4K;
+  bool thp_enabled = false;                  // transparent 2M promotion
+  HugeTlbFsConfig hugetlbfs;
+  TlbFlushMode tlb_flush = TlbFlushMode::kIpi;
+  hw::TlbParams tlb;
+
+  // Tofu driver registration path: get_user_pages walks base pages.
+  SimTime tofu_pin_per_page = SimTime::ns(250);
+
+  // Noise environment (drives the DES background-activity generators).
+  noise::AnalyticNoiseProfile profile;
+  // Cores where background activity is confined when countermeasures bind
+  // it (the assistant cores).
+  hw::CpuSet system_cores;
+};
+
+// Table-1 faithful configurations. `cm` applies only to Fugaku (OFP's
+// environment was not under the authors' control; §6.3).
+LinuxConfig make_fugaku_linux_config(
+    const hw::PlatformConfig& platform,
+    const noise::Countermeasures& cm = {});
+LinuxConfig make_ofp_linux_config(const hw::PlatformConfig& platform);
+
+}  // namespace hpcos::linuxk

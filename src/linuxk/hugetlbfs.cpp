@@ -1,0 +1,54 @@
+#include "linuxk/hugetlbfs.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hpcos::linuxk {
+
+HugeTlbFs::HugeTlbFs(HugeTlbFsConfig config)
+    : config_(config), pool_free_(config.reserved_pages) {}
+
+HugeTlbFs::AllocResult HugeTlbFs::allocate(std::uint64_t pages,
+                                           MemoryCgroup* memcg) {
+  AllocResult r;
+  if (!config_.enabled || pages == 0) return r;
+
+  const std::uint64_t from_pool = std::min(pages, pool_free_);
+  std::uint64_t surplus = pages - from_pool;
+
+  if (surplus > 0) {
+    if (!config_.overcommit) return r;  // pool exhausted, no overcommit
+    if (config_.max_surplus_pages != 0 &&
+        surplus_in_use_ + surplus > config_.max_surplus_pages) {
+      return r;
+    }
+  }
+
+  // Pool pages were accounted (and charged) at pool-reservation time in
+  // the real kernel; the cgroup question is about *surplus* pages. With
+  // the hook, they are charged like any other memory; without it, they
+  // escape the cgroup entirely (the §4.1.3 bug).
+  if (surplus > 0 && config_.cgroup_charge_hook && memcg != nullptr) {
+    if (!memcg->try_charge(surplus * page_bytes())) return r;
+  }
+
+  pool_free_ -= from_pool;
+  surplus_in_use_ += surplus;
+  r.ok = true;
+  r.from_pool = from_pool;
+  r.surplus = surplus;
+  return r;
+}
+
+void HugeTlbFs::release(const AllocResult& pages, MemoryCgroup* memcg) {
+  if (!pages.ok) return;
+  pool_free_ += pages.from_pool;
+  HPCOS_CHECK(pages.surplus <= surplus_in_use_);
+  surplus_in_use_ -= pages.surplus;
+  if (pages.surplus > 0 && config_.cgroup_charge_hook && memcg != nullptr) {
+    memcg->uncharge(pages.surplus * page_bytes());
+  }
+}
+
+}  // namespace hpcos::linuxk

@@ -1,0 +1,53 @@
+// hugeTLBfs large-page pool with overcommit and the cgroup charge hook.
+//
+// §4.1.3: Fugaku runs hugeTLBfs *without* a boot-time reserved pool,
+// allocating surplus large pages from the buddy allocator at runtime
+// (overcommit). Stock RHEL does not charge those surplus pages to the
+// memory cgroup; Fugaku fixes this by hooking the cgroup implementation
+// from a kernel module. Both behaviours are modeled so the difference is
+// testable: with the hook off, a process can blow through its cgroup limit
+// via surplus pages.
+#pragma once
+
+#include <cstdint>
+
+#include "linuxk/cgroup.h"
+#include "linuxk/config.h"
+
+namespace hpcos::linuxk {
+
+class HugeTlbFs {
+ public:
+  explicit HugeTlbFs(HugeTlbFsConfig config);
+
+  const HugeTlbFsConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+  hw::PageSize page_size() const { return config_.page_size; }
+
+  struct AllocResult {
+    bool ok = false;
+    std::uint64_t from_pool = 0;
+    std::uint64_t surplus = 0;
+  };
+
+  // Allocate `pages` large pages for a process charging `memcg` (nullptr
+  // when the process has no memory cgroup). Pool pages first, then surplus
+  // if overcommit is enabled. With the charge hook, surplus pages must fit
+  // the cgroup limit or the allocation fails outright.
+  AllocResult allocate(std::uint64_t pages, MemoryCgroup* memcg);
+
+  // Release pages previously obtained (pool pages return to the pool;
+  // surplus pages go back to the buddy and are uncharged when hooked).
+  void release(const AllocResult& pages, MemoryCgroup* memcg);
+
+  std::uint64_t pool_free() const { return pool_free_; }
+  std::uint64_t surplus_in_use() const { return surplus_in_use_; }
+  std::uint64_t page_bytes() const { return hw::bytes(config_.page_size); }
+
+ private:
+  HugeTlbFsConfig config_;
+  std::uint64_t pool_free_;
+  std::uint64_t surplus_in_use_ = 0;
+};
+
+}  // namespace hpcos::linuxk

@@ -1,0 +1,51 @@
+#include "linuxk/interference.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/table.h"
+
+namespace hpcos::linuxk {
+
+InterferenceReport analyze_interference(const sim::TraceBuffer& trace,
+                                        const hw::CpuSet& app_cores) {
+  std::map<std::string, InterferenceEntry> by_activity;
+  for (const auto& rec : trace.snapshot()) {
+    if (rec.duration.is_zero()) continue;
+    if (!app_cores.test(rec.core)) continue;
+    auto& e = by_activity[to_string(rec.category)];
+    e.activity = to_string(rec.category);
+    ++e.events;
+    e.total += rec.duration;
+    if (rec.duration > e.worst_single) {
+      e.worst_single = rec.duration;
+      e.worst_core = rec.core;
+      e.worst_at = rec.time;
+    }
+  }
+
+  InterferenceReport report;
+  for (auto& [_, e] : by_activity) {
+    report.total_interference += e.total;
+    report.total_events += e.events;
+    report.entries.push_back(std::move(e));
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const InterferenceEntry& a, const InterferenceEntry& b) {
+              return a.total > b.total;
+            });
+  return report;
+}
+
+std::string to_string(const InterferenceReport& report) {
+  TextTable t({"activity", "events", "total", "worst single", "on core"});
+  for (const auto& e : report.entries) {
+    t.add_row({e.activity,
+               TextTable::fmt_int(static_cast<long long>(e.events)),
+               e.total.to_string(), e.worst_single.to_string(),
+               TextTable::fmt_int(e.worst_core)});
+  }
+  return t.to_string();
+}
+
+}  // namespace hpcos::linuxk

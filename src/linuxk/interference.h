@@ -1,0 +1,51 @@
+// Interference analysis: the §4.2.1 ftrace methodology as an API.
+//
+// The paper identified interfering kernel tasks by profiling with ftrace
+// ("the analysis revealed that a kernel thread for block I/O processing
+// is spawned to application cores..."). This module turns a TraceBuffer
+// into the same kind of report: per-activity interference on the
+// application cores, ranked by stolen time, with the worst single event —
+// exactly what an operator needs to decide which countermeasure to apply.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "hw/cpuset.h"
+#include "sim/trace.h"
+
+namespace hpcos::linuxk {
+
+struct InterferenceEntry {
+  std::string activity;         // trace category ("kworker", "daemon", ...)
+  std::uint64_t events = 0;
+  SimTime total;                // aggregate stolen time
+  SimTime worst_single;         // longest single event
+  hw::CoreId worst_core = hw::kInvalidCore;
+  SimTime worst_at;             // timestamp of the worst event
+};
+
+struct InterferenceReport {
+  // Entries sorted by total stolen time, descending.
+  std::vector<InterferenceEntry> entries;
+  SimTime total_interference;
+  std::uint64_t total_events = 0;
+
+  // The dominant interferer, or empty when the trace is clean.
+  std::string dominant() const {
+    return entries.empty() ? std::string{} : entries.front().activity;
+  }
+};
+
+// Aggregate all non-zero-duration trace records that landed on
+// `app_cores` into a ranked report. Context switches are attributed like
+// any other kernel activity (they are; the paper's daemon noise includes
+// them).
+InterferenceReport analyze_interference(const sim::TraceBuffer& trace,
+                                        const hw::CpuSet& app_cores);
+
+// Render the report as a table (for tools/examples).
+std::string to_string(const InterferenceReport& report);
+
+}  // namespace hpcos::linuxk

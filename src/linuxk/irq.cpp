@@ -1,0 +1,63 @@
+#include "linuxk/irq.h"
+
+#include "common/check.h"
+
+namespace hpcos::linuxk {
+
+IrqVector& IrqRouter::register_irq(int irq, std::string device,
+                                   SimTime handler_cost) {
+  HPCOS_CHECK_MSG(!vectors_.contains(irq), "IRQ already registered");
+  IrqVector v;
+  v.irq = irq;
+  v.device = std::move(device);
+  v.smp_affinity = kernel_.owned_cores();
+  v.handler_cost = handler_cost;
+  auto [it, _] = vectors_.emplace(irq, std::move(v));
+  last_core_[irq] = hw::kInvalidCore;
+  return it->second;
+}
+
+bool IrqRouter::set_affinity(int irq, const hw::CpuSet& mask) {
+  auto it = vectors_.find(irq);
+  HPCOS_CHECK_MSG(it != vectors_.end(), "unknown IRQ");
+  if (!mask.intersects(kernel_.owned_cores())) return false;  // EINVAL
+  it->second.smp_affinity = mask & kernel_.owned_cores();
+  return true;
+}
+
+void IrqRouter::steer_all(const hw::CpuSet& cores) {
+  for (auto& [irq, _] : vectors_) {
+    const bool ok = set_affinity(irq, cores);
+    HPCOS_CHECK_MSG(ok, "steer_all: mask excludes all owned cores");
+  }
+}
+
+void IrqRouter::fire(int irq) {
+  auto it = vectors_.find(irq);
+  HPCOS_CHECK_MSG(it != vectors_.end(), "unknown IRQ");
+  IrqVector& v = it->second;
+
+  // Round-robin over the affinity mask, continuing from the last target.
+  hw::CoreId core = v.smp_affinity.next(last_core_[irq]);
+  if (core == hw::kInvalidCore) core = v.smp_affinity.first();
+  HPCOS_CHECK_MSG(core != hw::kInvalidCore, "IRQ with empty affinity");
+  last_core_[irq] = core;
+
+  ++v.fired;
+  ++per_core_[core];
+  kernel_.interrupt_core(core, v.handler_cost, sim::TraceCategory::kIrq,
+                         v.device);
+}
+
+const IrqVector& IrqRouter::vector(int irq) const {
+  auto it = vectors_.find(irq);
+  HPCOS_CHECK_MSG(it != vectors_.end(), "unknown IRQ");
+  return it->second;
+}
+
+std::uint64_t IrqRouter::delivered_to(hw::CoreId core) const {
+  auto it = per_core_.find(core);
+  return it == per_core_.end() ? 0 : it->second;
+}
+
+}  // namespace hpcos::linuxk

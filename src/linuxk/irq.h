@@ -1,0 +1,59 @@
+// Device IRQ routing (§3.1 / §4.2).
+//
+// The procfs mechanism: every IRQ vector has an smp_affinity mask deciding
+// which cores may service it. OFP balances device IRQs across the whole
+// chip (irqbalance default); Fugaku writes /proc/irq/N/smp_affinity to
+// steer every vector to the assistant cores. The router picks a core from
+// the vector's mask (round-robin, like the APIC's lowest-priority
+// arbitration) and injects the handler as a kernel-mode interrupt there.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "oskernel/kernel.h"
+
+namespace hpcos::linuxk {
+
+struct IrqVector {
+  int irq = -1;
+  std::string device;         // "mlx5_comp3", "nvme0q7", ...
+  hw::CpuSet smp_affinity;    // /proc/irq/<n>/smp_affinity
+  SimTime handler_cost = SimTime::us(5);
+  std::uint64_t fired = 0;
+};
+
+class IrqRouter {
+ public:
+  explicit IrqRouter(os::NodeKernel& kernel) : kernel_(kernel) {}
+
+  // Register a vector; affinity defaults to all owned cores (balanced).
+  IrqVector& register_irq(int irq, std::string device,
+                          SimTime handler_cost = SimTime::us(5));
+
+  // The /proc/irq/<n>/smp_affinity write. The mask must intersect the
+  // kernel's owned cores (EINVAL otherwise, like the real procfs file).
+  bool set_affinity(int irq, const hw::CpuSet& mask);
+
+  // Steer EVERY registered vector to `cores` (the §4.2 countermeasure:
+  // "Device IRQs are routed to assistant cores").
+  void steer_all(const hw::CpuSet& cores);
+
+  // Deliver one interrupt for `irq`: picks the next core from the
+  // affinity mask round-robin and injects the handler there.
+  void fire(int irq);
+
+  const IrqVector& vector(int irq) const;
+  std::size_t vector_count() const { return vectors_.size(); }
+  // Total handler invocations that landed on `core`.
+  std::uint64_t delivered_to(hw::CoreId core) const;
+
+ private:
+  os::NodeKernel& kernel_;
+  std::map<int, IrqVector> vectors_;
+  std::map<int, hw::CoreId> last_core_;  // per-vector round robin cursor
+  std::map<hw::CoreId, std::uint64_t> per_core_;
+};
+
+}  // namespace hpcos::linuxk

@@ -1,0 +1,101 @@
+#include "linuxk/workqueue.h"
+
+#include "common/check.h"
+
+namespace hpcos::linuxk {
+
+// Processes its queue item by item; parks in FUTEX_WAIT when drained.
+class WorkqueuePool::KworkerBody final : public os::ThreadBody {
+ public:
+  explicit KworkerBody(std::uint64_t& executed) : executed_(executed) {}
+
+  void step(os::ThreadContext& ctx) override {
+    if (running_item_) {
+      running_item_ = false;
+      ++executed_;
+    }
+    if (queue_.empty()) {
+      parked_ = true;
+      ctx.invoke(os::Syscall::kFutex, os::SyscallArgs{.arg0 = 0});
+      return;
+    }
+    parked_ = false;
+    const WorkItem item = std::move(queue_.front());
+    queue_.pop_front();
+    running_item_ = true;
+    ctx.compute(item.duration);
+  }
+
+  void enqueue(WorkItem item) { queue_.push_back(std::move(item)); }
+  bool parked() const { return parked_; }
+
+ private:
+  std::uint64_t& executed_;
+  std::deque<WorkItem> queue_;
+  bool parked_ = false;
+  bool running_item_ = false;
+};
+
+WorkqueuePool::WorkqueuePool(os::NodeKernel& kernel, int unbound_workers)
+    : kernel_(kernel), unbound_mask_(kernel.owned_cores()) {
+  HPCOS_CHECK(unbound_workers >= 1);
+  for (int i = 0; i < unbound_workers; ++i) {
+    unbound_.push_back(
+        make_worker("kworker/u:" + std::to_string(i), unbound_mask_));
+  }
+}
+
+WorkqueuePool::Worker WorkqueuePool::make_worker(const std::string& name,
+                                                 const hw::CpuSet& affinity) {
+  auto body = std::make_unique<KworkerBody>(executed_);
+  KworkerBody* raw = body.get();
+  os::SpawnAttrs attrs;
+  attrs.name = name;
+  attrs.affinity = affinity;
+  attrs.kernel_thread = true;
+  const os::ThreadId tid = kernel_.spawn(std::move(body), std::move(attrs));
+  return Worker{tid, raw};
+}
+
+void WorkqueuePool::dispatch(Worker& worker, WorkItem item) {
+  worker.body->enqueue(std::move(item));
+  if (worker.body->parked() &&
+      kernel_.thread(worker.tid).state == os::ThreadState::kBlocked) {
+    os::SyscallResult r;
+    r.ok = true;
+    kernel_.complete_blocked_syscall(worker.tid, r);
+  }
+}
+
+void WorkqueuePool::queue_work_on(hw::CoreId cpu, WorkItem item) {
+  HPCOS_CHECK_MSG(kernel_.owned_cores().test(cpu),
+                  "queue_work_on: un-owned cpu");
+  auto it = bound_.find(cpu);
+  if (it == bound_.end()) {
+    hw::CpuSet pin(static_cast<std::size_t>(
+        kernel_.topology().logical_cores()));
+    pin.set(cpu);
+    auto [ins, _] = bound_.emplace(
+        cpu, make_worker("kworker/" + std::to_string(cpu) + ":0", pin));
+    it = ins;
+  }
+  dispatch(it->second, std::move(item));
+}
+
+void WorkqueuePool::queue_unbound(WorkItem item) {
+  Worker& w = unbound_[next_unbound_ % unbound_.size()];
+  ++next_unbound_;
+  dispatch(w, std::move(item));
+}
+
+void WorkqueuePool::set_unbound_cpumask(const hw::CpuSet& cores) {
+  const hw::CpuSet target = cores & kernel_.owned_cores();
+  HPCOS_CHECK_MSG(target.any(),
+                  "unbound cpumask excludes all owned cores");
+  unbound_mask_ = target;
+  for (const Worker& w : unbound_) {
+    kernel_.set_affinity(w.tid, unbound_mask_);
+  }
+}
+
+}  // namespace hpcos::linuxk

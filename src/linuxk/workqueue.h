@@ -1,0 +1,66 @@
+// Kernel workqueues and kworker threads (§4.2).
+//
+// Two flavours, as in Linux: per-CPU *bound* kworkers (kworker/N:M) that
+// execute work queued on their CPU, and an *unbound* pool (kworker/uX:Y)
+// whose placement follows a pool-wide cpumask. The §4.2 countermeasure is
+// precisely a write to that mask through sysfs ("kworker tasks are also
+// bound to assistant cores by changing the CPU affinity value through
+// their sysfs interface"); bound kworkers stay put by design and blk-mq
+// completions need their own treatment (see blkmq.h).
+//
+// kworkers are real simulated threads (kernel_thread = true, so their
+// execution is charged as kernel time and traced as kworker activity).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "oskernel/kernel.h"
+
+namespace hpcos::linuxk {
+
+struct WorkItem {
+  SimTime duration;
+  std::string label;
+};
+
+class WorkqueuePool {
+ public:
+  // `unbound_workers`: number of kworker/u threads to maintain.
+  WorkqueuePool(os::NodeKernel& kernel, int unbound_workers = 2);
+
+  // Queue work on a specific CPU's bound kworker (created lazily).
+  void queue_work_on(hw::CoreId cpu, WorkItem item);
+
+  // Queue work on the unbound pool.
+  void queue_unbound(WorkItem item);
+
+  // The sysfs write: constrain unbound kworkers to `cores`. Existing
+  // workers are re-affined immediately.
+  void set_unbound_cpumask(const hw::CpuSet& cores);
+  const hw::CpuSet& unbound_cpumask() const { return unbound_mask_; }
+
+  std::uint64_t executed() const { return executed_; }
+  std::size_t bound_worker_count() const { return bound_.size(); }
+
+ private:
+  class KworkerBody;
+  struct Worker {
+    os::ThreadId tid = os::kInvalidThread;
+    KworkerBody* body = nullptr;  // owned by the thread record
+  };
+
+  Worker make_worker(const std::string& name, const hw::CpuSet& affinity);
+  void dispatch(Worker& worker, WorkItem item);
+
+  os::NodeKernel& kernel_;
+  hw::CpuSet unbound_mask_;
+  std::map<hw::CoreId, Worker> bound_;
+  std::vector<Worker> unbound_;
+  std::size_t next_unbound_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace hpcos::linuxk

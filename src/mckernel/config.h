@@ -1,0 +1,49 @@
+// McKernel configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "hw/tlb.h"
+#include "noise/analytic.h"
+#include "oskernel/syscall.h"
+#include "oskernel/costs.h"
+
+namespace hpcos::mck {
+
+// Tofu STAG ioctl request codes live in oskernel/syscall.h; aliased here
+// for the PicoDriver's users.
+using os::kTofuRegisterStag;
+using os::kTofuDeregisterStag;
+
+struct PicoDriverParams {
+  bool enabled = false;
+  // LWK-local fast path: pin + STAG table update without leaving the LWK.
+  SimTime base_cost = SimTime::us(1);
+  SimTime per_page_cost = SimTime::ns(150);
+  hw::PageSize page_size = hw::PageSize::k2M;
+};
+
+struct McKernelConfig {
+  os::KernelCosts costs;
+  // Service times for the locally-implemented calls; everything else is
+  // delegated to Linux through the proxy process.
+  SimTime local_syscall_cost = SimTime::ns(400);
+  SimTime mmap_cost = SimTime::ns(900);
+  SimTime munmap_cost = SimTime::ns(600);
+  // Large-page-first memory manager: the fault path is simple (pre-zeroed
+  // pool, no LRU, no cgroup accounting).
+  SimTime page_fault_cost = SimTime::us(2);
+  hw::PageSize default_page_size = hw::PageSize::k2M;
+  // Marshalling work on the LWK side before posting an offload message.
+  SimTime offload_marshal_cost = SimTime::ns(300);
+
+  PicoDriverParams picodriver;
+
+  // Residual (hardware-floor) noise on LWK cores.
+  noise::AnalyticNoiseProfile hw_noise;
+
+  static McKernelConfig defaults();
+};
+
+}  // namespace hpcos::mck

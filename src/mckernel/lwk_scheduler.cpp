@@ -1,0 +1,76 @@
+#include "mckernel/lwk_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hpcos::mck {
+
+LwkScheduler::LwkScheduler(std::size_t num_cores, hw::CpuSet owned_cores)
+    : owned_(std::move(owned_cores)), queues_(num_cores) {}
+
+hw::CoreId LwkScheduler::select_core(const os::Thread& thread,
+                                     const std::vector<std::size_t>& load) {
+  const hw::CpuSet allowed = thread.affinity & owned_;
+  HPCOS_CHECK_MSG(allowed.any(), "no allowed core for LWK thread");
+  // Threads stay put once placed (the LWK never migrates); fresh threads
+  // fill the least-loaded core, lowest id first — matching mcexec's
+  // deterministic one-rank/thread-per-core layout.
+  if (thread.core != hw::kInvalidCore && allowed.test(thread.core)) {
+    return thread.core;
+  }
+  hw::CoreId best = hw::kInvalidCore;
+  std::size_t best_load = std::numeric_limits<std::size_t>::max();
+  for (hw::CoreId c = allowed.first(); c != hw::kInvalidCore;
+       c = allowed.next(c)) {
+    if (load[static_cast<std::size_t>(c)] < best_load) {
+      best_load = load[static_cast<std::size_t>(c)];
+      best = c;
+    }
+  }
+  return best;
+}
+
+void LwkScheduler::enqueue(hw::CoreId core, os::Thread& thread) {
+  queues_.at(static_cast<std::size_t>(core)).push_back(thread.tid);
+  queued_on_[thread.tid] = core;
+}
+
+os::ThreadId LwkScheduler::pick_next(hw::CoreId core) {
+  auto& q = queues_.at(static_cast<std::size_t>(core));
+  if (q.empty()) return os::kInvalidThread;
+  const os::ThreadId tid = q.front();
+  q.pop_front();
+  queued_on_.erase(tid);
+  return tid;
+}
+
+void LwkScheduler::remove(const os::Thread& thread) {
+  auto it = queued_on_.find(thread.tid);
+  if (it == queued_on_.end()) return;
+  auto& q = queues_.at(static_cast<std::size_t>(it->second));
+  std::erase(q, thread.tid);
+  queued_on_.erase(it);
+}
+
+std::size_t LwkScheduler::runnable_count(hw::CoreId core) const {
+  return queues_.at(static_cast<std::size_t>(core)).size();
+}
+
+bool LwkScheduler::preempt_on_wakeup(const os::Thread&,
+                                     const os::Thread&) const {
+  return false;  // strictly co-operative
+}
+
+bool LwkScheduler::needs_tick(hw::CoreId, bool) const {
+  return false;  // tick-less
+}
+
+bool LwkScheduler::should_resched_on_tick(hw::CoreId, os::Thread&) {
+  return false;
+}
+
+void LwkScheduler::charge(os::Thread&, SimTime) {}
+
+}  // namespace hpcos::mck

@@ -1,0 +1,39 @@
+// McKernel's scheduler: tick-less, co-operative round-robin (§5).
+//
+// No timer interrupts, no wake-up preemption, no fairness bookkeeping —
+// threads run until they block, yield, or exit. Combined with one-thread-
+// per-core placement this is what makes the LWK noise-free by construction.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/cpuset.h"
+#include "oskernel/scheduler.h"
+
+namespace hpcos::mck {
+
+class LwkScheduler final : public os::Scheduler {
+ public:
+  LwkScheduler(std::size_t num_cores, hw::CpuSet owned_cores);
+
+  hw::CoreId select_core(const os::Thread& thread,
+                         const std::vector<std::size_t>& load) override;
+  void enqueue(hw::CoreId core, os::Thread& thread) override;
+  os::ThreadId pick_next(hw::CoreId core) override;
+  void remove(const os::Thread& thread) override;
+  std::size_t runnable_count(hw::CoreId core) const override;
+  bool preempt_on_wakeup(const os::Thread& woken,
+                         const os::Thread& running) const override;
+  bool needs_tick(hw::CoreId core, bool core_busy) const override;
+  bool should_resched_on_tick(hw::CoreId core, os::Thread& running) override;
+  void charge(os::Thread& thread, SimTime elapsed) override;
+
+ private:
+  hw::CpuSet owned_;
+  std::vector<std::deque<os::ThreadId>> queues_;  // FIFO round robin
+  std::unordered_map<os::ThreadId, hw::CoreId> queued_on_;
+};
+
+}  // namespace hpcos::mck

@@ -1,0 +1,87 @@
+// McKernel: the lightweight co-kernel (§5).
+//
+// Implements only the performance-sensitive system calls — memory
+// management (large-page-first, per-process retained physical memory),
+// threads and the co-operative tick-less scheduler, POSIX signaling —
+// and delegates everything else to Linux through the proxy process (see
+// offload.h). Runs a Linux-compatible ABI: the same ThreadBody workloads
+// run unmodified on either kernel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "mckernel/config.h"
+#include "mckernel/lwk_scheduler.h"
+#include "mckernel/picodriver.h"
+#include "noise/background.h"
+#include "oskernel/kernel.h"
+#include "oskernel/stall_bus.h"
+
+namespace hpcos::mck {
+
+class SyscallOffloader;
+
+class McKernel final : public os::NodeKernel {
+ public:
+  McKernel(sim::Simulator& simulator, const hw::NodeTopology& topology,
+           hw::CpuSet owned_cores, McKernelConfig config, Seed seed,
+           sim::TraceBuffer* trace = nullptr,
+           os::ChipStallBus* stall_bus = nullptr);
+
+  std::string name() const override { return "mckernel"; }
+
+  // Start the residual hardware-floor generators. (There is nothing else
+  // to start: no ticks, no daemons.)
+  void boot();
+  bool booted() const { return booted_; }
+
+  // Wire the delegation path; without it, non-local syscalls fail hard.
+  void set_offloader(SyscallOffloader* offloader) { offloader_ = offloader; }
+
+  const McKernelConfig& config() const { return config_; }
+  PicoDriver& picodriver() { return pico_; }
+
+  // The LWK's local syscall set (§5: "McKernel implements only a small set
+  // of performance sensitive system calls").
+  static bool is_local_syscall(os::Syscall no);
+
+  // First-touch fault-in, LWK fault path (cheap, no fragmentation effects).
+  SimTime touch_memory(os::Pid pid, std::uint64_t addr, std::uint64_t length);
+
+  // POSIX signal delivery: wakes blocked targets (EINTR), interrupts
+  // running ones.
+  void send_signal(os::ThreadId target);
+
+  std::uint64_t local_syscalls() const { return local_count_; }
+  std::uint64_t offloaded_syscalls() const { return offload_count_; }
+  // Bytes of physical memory retained in a process's local pool (freed by
+  // the app, kept by the LWK for reuse).
+  std::uint64_t pooled_bytes(os::Pid pid) const;
+
+ protected:
+  os::Scheduler& sched() override { return lwk_sched_; }
+  SyscallDisposition handle_syscall(os::Thread& thread,
+                                    const os::SyscallRequest& req) override;
+  void on_thread_exit(os::Thread& thread) override;
+
+ private:
+  SyscallDisposition do_mmap(os::Thread& thread, const os::SyscallArgs& args);
+  SyscallDisposition do_munmap(os::Thread& thread,
+                               const os::SyscallArgs& args);
+
+  McKernelConfig config_;
+  LwkScheduler lwk_sched_;
+  PicoDriver pico_;
+  SyscallOffloader* offloader_ = nullptr;
+  std::unique_ptr<noise::BackgroundActivity> background_;
+  RngStream rng_;
+  bool booted_ = false;
+
+  std::unordered_map<os::Pid, std::uint64_t> process_pool_;
+  std::uint64_t local_count_ = 0;
+  std::uint64_t offload_count_ = 0;
+};
+
+}  // namespace hpcos::mck

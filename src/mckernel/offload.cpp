@@ -1,0 +1,105 @@
+#include "mckernel/offload.h"
+
+namespace hpcos::mck {
+
+void ProxyBody::step(os::ThreadContext& ctx) {
+  if (phase_ == Phase::kExecuted) {
+    // The host kernel just completed the delegated call.
+    ihk::IkcMessage reply = std::move(*current_);
+    current_.reset();
+    reply.result = ctx.last_syscall();
+    offloader_.send_reply(std::move(reply));
+  }
+  if (queue_.empty()) {
+    phase_ = Phase::kParked;
+    parked_ = true;
+    ctx.invoke(os::Syscall::kFutex, os::SyscallArgs{.arg0 = 0});
+    return;
+  }
+  parked_ = false;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  phase_ = Phase::kExecuted;
+  ctx.invoke(current_->request.no, current_->request.args);
+}
+
+SyscallOffloader::SyscallOffloader(McKernel& lwk, os::NodeKernel& host,
+                                   ihk::IkcChannel& to_host,
+                                   ihk::IkcChannel& to_lwk,
+                                   hw::CpuSet proxy_affinity)
+    : lwk_(lwk),
+      host_(host),
+      to_host_(to_host),
+      to_lwk_(to_lwk),
+      proxy_affinity_(std::move(proxy_affinity)) {
+  to_host_.set_receiver(
+      [this](const ihk::IkcMessage& m) { on_host_delivery(m); });
+  to_lwk_.set_receiver(
+      [this](const ihk::IkcMessage& m) { on_lwk_delivery(m); });
+  lwk_.set_offloader(this);
+}
+
+void SyscallOffloader::offload(os::ThreadId lwk_tid, os::Pid lwk_pid,
+                               const os::SyscallRequest& request) {
+  ++requests_;
+  request_start_[lwk_tid] = lwk_.simulator().now();
+
+  ihk::IkcMessage m;
+  m.sender = lwk_tid;
+  m.sender_pid = lwk_pid;
+  m.request = request;
+  // Marshalling on the LWK side happens before the doorbell rings.
+  const SimTime marshal = lwk_.config().offload_marshal_cost;
+  lwk_.simulator().schedule_after(
+      marshal, [this, m = std::move(m)] { to_host_.post(m); });
+}
+
+void SyscallOffloader::send_reply(ihk::IkcMessage message) {
+  message.is_reply = true;
+  to_lwk_.post(std::move(message));
+}
+
+SyscallOffloader::Proxy& SyscallOffloader::ensure_proxy(os::Pid lwk_pid) {
+  auto it = proxies_.find(lwk_pid);
+  if (it != proxies_.end()) return it->second;
+
+  // One proxy process per McKernel process, living on the host's system
+  // cores (where it cannot disturb application cores).
+  auto body = std::make_unique<ProxyBody>(*this);
+  ProxyBody* raw = body.get();
+  os::SpawnAttrs attrs;
+  attrs.name = "mcexec-proxy-" + std::to_string(lwk_pid);
+  attrs.affinity = proxy_affinity_;
+  const os::ThreadId tid = host_.spawn(std::move(body), std::move(attrs));
+  auto [ins, _] = proxies_.emplace(lwk_pid, Proxy{tid, raw});
+  return ins->second;
+}
+
+void SyscallOffloader::on_host_delivery(const ihk::IkcMessage& message) {
+  Proxy& proxy = ensure_proxy(message.sender_pid);
+  proxy.body->enqueue(message);
+  // Ring the proxy's doorbell if it is actually parked in FUTEX_WAIT. (It
+  // may be Ready-but-not-dispatched after a previous wake, in which case
+  // it will drain the queue on its own.)
+  if (proxy.body->parked() &&
+      host_.thread(proxy.host_tid).state == os::ThreadState::kBlocked) {
+    os::SyscallResult wake;
+    wake.ok = true;
+    host_.complete_blocked_syscall(proxy.host_tid, wake);
+  }
+}
+
+void SyscallOffloader::on_lwk_delivery(const ihk::IkcMessage& message) {
+  ++replies_;
+  os::SyscallResult result = message.result;
+  result.path = os::SyscallResult::Path::kOffloaded;
+  if (auto it = request_start_.find(message.sender);
+      it != request_start_.end()) {
+    const SimTime rtt = lwk_.simulator().now() - it->second;
+    roundtrip_us_.add(rtt.to_us());
+    request_start_.erase(it);
+  }
+  lwk_.complete_blocked_syscall(message.sender, result);
+}
+
+}  // namespace hpcos::mck

@@ -1,0 +1,22 @@
+#include "mckernel/picodriver.h"
+
+namespace hpcos::mck {
+
+SimTime PicoDriver::register_stag(std::uint64_t bytes) {
+  ++registrations_;
+  const std::uint64_t page = hw::bytes(params_.page_size);
+  const std::uint64_t pages = (bytes + page - 1) / page;
+  return params_.base_cost +
+         params_.per_page_cost * static_cast<std::int64_t>(pages);
+}
+
+SimTime PicoDriver::deregister_stag(std::uint64_t bytes) {
+  const std::uint64_t page = hw::bytes(params_.page_size);
+  const std::uint64_t pages = (bytes + page - 1) / page;
+  // Teardown is cheaper: no pinning, just table invalidation.
+  return params_.base_cost.scaled(0.5) +
+         params_.per_page_cost.scaled(0.3) *
+             static_cast<std::int64_t>(pages);
+}
+
+}  // namespace hpcos::mck

@@ -1,0 +1,35 @@
+// Tofu PicoDriver: split-driver fast path for STAG registration (§5.1).
+//
+// Tofu memory registration ("STAG" setup) normally goes through ioctl()
+// into the Linux Tofu driver; under the multi-kernel that means a syscall
+// offload round-trip per registration. The PicoDriver moves the fast path
+// into the LWK: the STAG table lives in memory shared with the Linux
+// driver, and registration becomes a local operation. The paper credits
+// this for McKernel's faster RDMA registration on GAMERA (§6.4).
+#pragma once
+
+#include <cstdint>
+
+#include "mckernel/config.h"
+
+namespace hpcos::mck {
+
+class PicoDriver {
+ public:
+  explicit PicoDriver(PicoDriverParams params) : params_(params) {}
+
+  bool enabled() const { return params_.enabled; }
+
+  // Cost of registering `bytes` of LWK memory for RDMA. Large-page-backed
+  // LWK memory keeps the pin loop short: one iteration per 2M page.
+  SimTime register_stag(std::uint64_t bytes);
+  SimTime deregister_stag(std::uint64_t bytes);
+
+  std::uint64_t registrations() const { return registrations_; }
+
+ private:
+  PicoDriverParams params_;
+  std::uint64_t registrations_ = 0;
+};
+
+}  // namespace hpcos::mck

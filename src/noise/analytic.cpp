@@ -1,0 +1,196 @@
+#include "noise/analytic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hpcos::noise {
+
+SimTime DurationDist::sample(RngStream& rng) const {
+  if (sigma == 0.0) return std::clamp(median, min, max);
+  const double mu = std::log(static_cast<double>(median.count_ns()));
+  const double v = rng.lognormal(mu, sigma);
+  const auto t = SimTime::ns(static_cast<std::int64_t>(v));
+  return std::clamp(t, min, max);
+}
+
+SimTime DurationDist::mean() const {
+  if (sigma == 0.0) return median;
+  // E[lognormal] = median * exp(sigma^2 / 2).
+  return median.scaled(std::exp(sigma * sigma / 2.0));
+}
+
+double inverse_normal_cdf(double p) {
+  // Acklam's rational approximation.
+  HPCOS_CHECK(p > 0.0 && p < 1.0);
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+SimTime DurationDist::quantile(double q) const {
+  if (sigma == 0.0) return std::clamp(median, min, max);
+  const double qq = std::clamp(q, 1e-12, 1.0 - 1e-12);
+  const double z = inverse_normal_cdf(qq);
+  const double v =
+      static_cast<double>(median.count_ns()) * std::exp(sigma * z);
+  return std::clamp(SimTime::ns(static_cast<std::int64_t>(v)), min, max);
+}
+
+SimTime DurationDist::sample_max(std::uint64_t k, RngStream& rng) const {
+  if (k == 0) return SimTime::zero();
+  if (k <= 64) {
+    SimTime worst = SimTime::zero();
+    for (std::uint64_t i = 0; i < k; ++i) {
+      worst = std::max(worst, sample(rng));
+    }
+    return worst;
+  }
+  // max of k iid draws: F_max^{-1}(u) = F^{-1}(u^{1/k}).
+  const double u = std::clamp(rng.uniform(), 1e-12, 1.0 - 1e-12);
+  const double q = std::exp(std::log(u) / static_cast<double>(k));
+  return quantile(q);
+}
+
+std::string to_string(SourceKind k) {
+  switch (k) {
+    case SourceKind::kDaemon:
+      return "daemon";
+    case SourceKind::kKworker:
+      return "kworker";
+    case SourceKind::kBlkMq:
+      return "blk-mq";
+    case SourceKind::kPmuRead:
+      return "pmu-read";
+    case SourceKind::kTlbiStorm:
+      return "tlbi-storm";
+    case SourceKind::kSar:
+      return "sar";
+    case SourceKind::kDeviceIrq:
+      return "device-irq";
+    case SourceKind::kResidualTick:
+      return "residual-tick";
+    case SourceKind::kHardware:
+      return "hardware";
+  }
+  return "?";
+}
+
+AnalyticNodeSampler::AnalyticNodeSampler(const AnalyticNoiseProfile& profile,
+                                         int app_cores, RngStream rng)
+    : base_jitter_mean_(profile.base_jitter_mean),
+      base_jitter_sd_(profile.base_jitter_sd),
+      app_cores_(app_cores),
+      rng_(rng) {
+  HPCOS_CHECK(app_cores_ > 0);
+  for (const auto& s : profile.sources) {
+    HPCOS_CHECK_MSG(s.mean_interval > SimTime::zero(),
+                    "noise source needs a positive interval");
+    if (s.node_fraction >= 1.0 || rng_.bernoulli(s.node_fraction)) {
+      active_.push_back(s);
+    }
+  }
+}
+
+SimTime AnalyticNodeSampler::per_core_interval(
+    const NoiseSourceSpec& spec) const {
+  switch (spec.scope) {
+    case SourceScope::kPerCore:
+    case SourceScope::kAllCores:
+      // Every core observes each occurrence.
+      return spec.mean_interval;
+    case SourceScope::kPerNodeRandomCore:
+      // A given core is hit 1/app_cores of the time.
+      return spec.mean_interval * app_cores_;
+  }
+  return spec.mean_interval;
+}
+
+SimTime AnalyticNodeSampler::sample_floor_iteration(SimTime quantum) {
+  double t_ns = static_cast<double>(quantum.count_ns());
+  if (base_jitter_sd_ > 0.0 || base_jitter_mean_ > 0.0) {
+    const double j =
+        std::max(0.0, rng_.normal(base_jitter_mean_, base_jitter_sd_));
+    t_ns *= 1.0 + j;
+  }
+  return SimTime::ns(static_cast<std::int64_t>(t_ns));
+}
+
+SimTime AnalyticNodeSampler::sample_iteration(SimTime quantum) {
+  SimTime total = sample_floor_iteration(quantum);
+  for (const auto& s : active_) {
+    const double rate = quantum.ratio(per_core_interval(s));
+    const std::uint64_t hits = rng_.poisson(rate);
+    for (std::uint64_t h = 0; h < hits; ++h) {
+      total += s.duration.sample(rng_);
+    }
+  }
+  return total;
+}
+
+SimTime AnalyticNodeSampler::sample_rank_delay(SimTime sync, int threads) {
+  HPCOS_CHECK(threads > 0);
+  // The rank's barrier waits for its worst-hit thread. Hits land on
+  // independent threads with overwhelming probability at realistic rates,
+  // so the rank delay is the maximum single-hit duration (Eq. 1's logic),
+  // except for kAllCores sources, which delay every thread and therefore
+  // add unconditionally.
+  SimTime worst = SimTime::zero();
+  SimTime all_core_sum = SimTime::zero();
+  for (const auto& s : active_) {
+    if (s.scope == SourceScope::kAllCores) {
+      const double rate = sync.ratio(s.mean_interval);
+      const std::uint64_t hits = rng_.poisson(rate);
+      for (std::uint64_t h = 0; h < hits; ++h) {
+        all_core_sum += s.duration.sample(rng_);
+      }
+      continue;
+    }
+    // Aggregate arrival rate across the rank's threads within the window.
+    const double per_thread_rate = sync.ratio(per_core_interval(s));
+    const std::uint64_t hits =
+        rng_.poisson(per_thread_rate * static_cast<double>(threads));
+    for (std::uint64_t h = 0; h < hits; ++h) {
+      worst = std::max(worst, s.duration.sample(rng_));
+    }
+  }
+  SimTime jitter = SimTime::zero();
+  if (base_jitter_sd_ > 0.0 || base_jitter_mean_ > 0.0) {
+    // The slowest of `threads` draws; approximate with mean + 2 sd for
+    // realistic thread counts.
+    const double frac =
+        std::max(0.0, base_jitter_mean_ + 2.0 * base_jitter_sd_);
+    jitter = sync.scaled(frac);
+  }
+  return worst + all_core_sum + jitter;
+}
+
+}  // namespace hpcos::noise

@@ -1,0 +1,131 @@
+// Statistical noise sources and the analytic FWQ/BSP sampler.
+//
+// The node DES reproduces noise mechanically (real kernel threads, IRQs,
+// TLBI storms). That is exact but O(events); a full-scale Fugaku run
+// (158,976 nodes x 48 cores x ~55k FWQ iterations) needs the statistical
+// equivalent instead. A NoiseSourceSpec describes one source's arrival
+// process and duration distribution; the same spec table parameterizes
+// both the DES subsystem generators (linuxk) and this sampler, and the
+// test suite checks the two agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace hpcos::noise {
+
+// Lognormal duration, clamped to [min, max]; median/sigma parameterize the
+// underlying distribution. Degenerates to a constant when sigma == 0.
+struct DurationDist {
+  SimTime median;
+  double sigma = 0.0;
+  SimTime min = SimTime::zero();
+  SimTime max = SimTime::max();
+
+  SimTime sample(RngStream& rng) const;
+  // Expected value (clamping ignored; adequate for rate estimates).
+  SimTime mean() const;
+  // Inverse CDF (clamped); q in [0, 1].
+  SimTime quantile(double q) const;
+  // One draw distributed as max(X_1..X_k): direct for small k, inverse-CDF
+  // of U^(1/k) otherwise. This is what makes machine-scale "worst thread
+  // in the barrier window" sampling O(1) instead of O(threads).
+  SimTime sample_max(std::uint64_t k, RngStream& rng) const;
+};
+
+// Inverse standard-normal CDF (Acklam's rational approximation, ~1e-9
+// absolute error); exposed for tests.
+double inverse_normal_cdf(double p);
+
+// How a source's occurrences map onto cores.
+enum class SourceScope : std::uint8_t {
+  kPerCore,            // independent arrival process on every app core
+  kPerNodeRandomCore,  // node-level process; each hit lands on one core
+                       // (an unbound daemon/kworker waking somewhere)
+  kAllCores,           // each hit stalls every app core at once (PMU IPIs,
+                       // broadcast TLBI victims)
+};
+
+// Which kernel subsystem generates the noise; linuxk uses this to route
+// spec entries to its DES generators, and the countermeasure toggles
+// enable/disable kinds wholesale.
+enum class SourceKind : std::uint8_t {
+  kDaemon,
+  kKworker,
+  kBlkMq,
+  kPmuRead,
+  kTlbiStorm,
+  kSar,
+  kDeviceIrq,
+  kResidualTick,
+  kHardware,  // non-OS jitter floor events (thermal, shared-resource)
+};
+std::string to_string(SourceKind k);
+
+struct NoiseSourceSpec {
+  std::string name;
+  SourceKind kind = SourceKind::kHardware;
+  SourceScope scope = SourceScope::kPerCore;
+  // Mean inter-arrival of the process at its scope (per core for kPerCore,
+  // per node otherwise). Arrivals are Poisson.
+  SimTime mean_interval;
+  DurationDist duration;
+  // Fraction of nodes that exhibit this source at all (straggler modeling:
+  // a handful of nodes in 158k have a misbehaving service).
+  double node_fraction = 1.0;
+  // DES realization hint: number of daemon threads realizing a
+  // kPerNodeRandomCore process (each gets interval * instances). The
+  // statistical process is unchanged; purely spreads load across actors.
+  int instances = 1;
+};
+
+struct AnalyticNoiseProfile {
+  std::string name;
+  std::vector<NoiseSourceSpec> sources;
+  // Continuous hardware jitter floor: every compute interval is scaled by
+  // (1 + max(0, N(mean, sd))).
+  double base_jitter_mean = 0.0;
+  double base_jitter_sd = 0.0;
+};
+
+// Samples FWQ iteration lengths / BSP rank intervals for ONE node. The
+// constructor decides (per node_fraction) which sources are active on this
+// node, so distinct nodes drawn from distinct streams form a heterogeneous
+// population.
+class AnalyticNodeSampler {
+ public:
+  AnalyticNodeSampler(const AnalyticNoiseProfile& profile, int app_cores,
+                      RngStream rng);
+
+  // Wall time of one FWQ iteration of `quantum` work on one core.
+  SimTime sample_iteration(SimTime quantum);
+
+  // Iteration with the jitter floor only (no discrete source hits); used
+  // when hits are accounted for separately (cluster::run_fwq_campaign).
+  SimTime sample_floor_iteration(SimTime quantum);
+
+  // Delay added to a rank of `threads` threads over a synchronization
+  // interval of `sync` (the rank waits for its worst-hit thread). This is
+  // the stochastic counterpart of Eq. 1.
+  SimTime sample_rank_delay(SimTime sync, int threads);
+
+  const std::vector<NoiseSourceSpec>& active_sources() const {
+    return active_;
+  }
+
+ private:
+  // Expected per-core arrival interval of `spec` on this node.
+  SimTime per_core_interval(const NoiseSourceSpec& spec) const;
+
+  std::vector<NoiseSourceSpec> active_;
+  double base_jitter_mean_;
+  double base_jitter_sd_;
+  int app_cores_;
+  RngStream rng_;
+};
+
+}  // namespace hpcos::noise

@@ -1,0 +1,65 @@
+#include "noise/attribution.h"
+
+namespace hpcos::noise {
+
+std::string to_string(InterferenceClass c) {
+  switch (c) {
+    case InterferenceClass::kNone:
+      return "none";
+    case InterferenceClass::kOsKernelActivity:
+      return "os-kernel-activity";
+    case InterferenceClass::kHardwareContention:
+      return "hardware-contention";
+    case InterferenceClass::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+AttributionResult attribute_window(const os::CoreAccounting& before,
+                                   const os::CoreAccounting& after,
+                                   const AttributionParams& params) {
+  AttributionResult r;
+  r.kernel_time = after.kernel - before.kernel;
+  r.stall_time = after.stall - before.stall;
+  r.interrupts = after.interrupts - before.interrupts;
+
+  const SimTime user_time = after.user - before.user;
+  r.counters.add(hw::PmuEvent::kInstructionsUser,
+                 static_cast<std::uint64_t>(
+                     static_cast<double>(user_time.count_ns()) *
+                     params.user_ipns));
+  r.counters.add(hw::PmuEvent::kInstructionsKernel,
+                 static_cast<std::uint64_t>(
+                     static_cast<double>(r.kernel_time.count_ns()) *
+                     params.kernel_ipns));
+  // Cycles accrue through stalls as well — that is the §4.2.2 signature:
+  // cycles grow while the instruction counters do not.
+  r.counters.add(hw::PmuEvent::kCycles,
+                 static_cast<std::uint64_t>(
+                     (user_time + r.kernel_time + r.stall_time).count_ns() *
+                     2.0));
+
+  const bool kernel_significant = r.kernel_time >= params.threshold;
+  const bool stall_significant = r.stall_time >= params.threshold;
+  if (!kernel_significant && !stall_significant) {
+    r.cls = InterferenceClass::kNone;
+    return r;
+  }
+  if (kernel_significant && stall_significant) {
+    const double big = static_cast<double>(
+        std::max(r.kernel_time, r.stall_time).count_ns());
+    const double small = static_cast<double>(
+        std::min(r.kernel_time, r.stall_time).count_ns());
+    if (small >= params.mixed_ratio * big) {
+      r.cls = InterferenceClass::kMixed;
+      return r;
+    }
+  }
+  r.cls = r.kernel_time >= r.stall_time
+              ? InterferenceClass::kOsKernelActivity
+              : InterferenceClass::kHardwareContention;
+  return r;
+}
+
+}  // namespace hpcos::noise

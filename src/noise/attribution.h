@@ -1,0 +1,57 @@
+// Noise attribution via performance counters (§4.2.2).
+//
+// The paper's diagnostic: capture instructions retired and execution time
+// in user and kernel space across an observation window. If kernel-space
+// instructions grew, the interference is OS processing (interrupts, page
+// faults, daemons). If execution time grew with *no* change in retired
+// instructions, the cause is hardware sharing (memory bandwidth, LLC,
+// broadcast-TLBI stalls). The substrate's CoreAccounting carries exactly
+// this split (user / kernel / stall time); this module reproduces the
+// classification and synthesizes the counter view the paper works with.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/pmu.h"
+#include "oskernel/kernel.h"
+
+namespace hpcos::noise {
+
+enum class InterferenceClass : std::uint8_t {
+  kNone,                 // window ran clean
+  kOsKernelActivity,     // kernel instructions grew: IRQs/daemons/syscalls
+  kHardwareContention,   // only wall time grew: shared-resource stalls
+  kMixed,                // both present in comparable measure
+};
+std::string to_string(InterferenceClass c);
+
+struct AttributionResult {
+  InterferenceClass cls = InterferenceClass::kNone;
+  SimTime kernel_time;   // OS time stolen within the window
+  SimTime stall_time;    // hardware stall within the window
+  std::uint64_t interrupts = 0;
+  // Synthesized counter view (instructions = time x IPC model), matching
+  // what perf_event_open would report.
+  hw::PmuCounters counters;
+};
+
+struct AttributionParams {
+  // Below this, a component is considered measurement noise.
+  SimTime threshold = SimTime::us(1);
+  // When both components exceed the threshold, the smaller one must be at
+  // least this fraction of the larger to call the window kMixed.
+  double mixed_ratio = 0.25;
+  // Instruction synthesis rates (instructions per nanosecond).
+  double user_ipns = 2.0;    // application IPC at ~2 GHz
+  double kernel_ipns = 1.0;  // kernel paths are branchier
+};
+
+// Classify the interference a core experienced between two accounting
+// snapshots (taken with os::NodeKernel::accounting before/after the
+// observation window).
+AttributionResult attribute_window(const os::CoreAccounting& before,
+                                   const os::CoreAccounting& after,
+                                   const AttributionParams& params = {});
+
+}  // namespace hpcos::noise

@@ -1,0 +1,85 @@
+#include "noise/ftq.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hpcos::noise {
+
+FtqThread::FtqThread(FtqConfig config) : config_(config) {
+  HPCOS_CHECK(config_.window > SimTime::zero());
+  HPCOS_CHECK(config_.unit_work > SimTime::zero());
+  HPCOS_CHECK(config_.unit_work <= config_.window);
+  HPCOS_CHECK(config_.windows > 0);
+  trace_.work_counts.reserve(config_.windows);
+}
+
+void FtqThread::step(os::ThreadContext& ctx) {
+  if (!started_) {
+    started_ = true;
+    trace_.core = ctx.core();
+    window_end_ = ctx.now() + config_.window;
+  } else {
+    // A unit quantum just completed. Close every window boundary it
+    // crossed (a long noise event can swallow whole windows — those
+    // windows record depressed / zero counts, as real FTQ does).
+    ++count_;
+    while (ctx.now() >= window_end_) {
+      trace_.work_counts.push_back(count_);
+      count_ = 0;
+      window_end_ += config_.window;
+      if (trace_.work_counts.size() >=
+          static_cast<std::size_t>(config_.windows)) {
+        finished_ = true;
+        ctx.exit();
+        return;
+      }
+    }
+  }
+  ctx.compute(config_.unit_work);
+}
+
+std::vector<FtqTrace> run_ftq(os::NodeKernel& kernel, const hw::CpuSet& cores,
+                              FtqConfig config) {
+  std::vector<const FtqThread*> bodies;
+  for (hw::CoreId core : cores.to_vector()) {
+    auto body = std::make_unique<FtqThread>(config);
+    bodies.push_back(body.get());
+    os::SpawnAttrs attrs;
+    attrs.name = "ftq-" + std::to_string(core);
+    attrs.affinity = hw::CpuSet::of(
+        static_cast<std::size_t>(kernel.topology().logical_cores()), {core});
+    kernel.spawn(std::move(body), std::move(attrs));
+  }
+  auto all_done = [&] {
+    return std::all_of(bodies.begin(), bodies.end(),
+                       [](const FtqThread* b) { return b->finished(); });
+  };
+  while (!all_done()) {
+    const bool progressed = kernel.simulator().step();
+    HPCOS_CHECK_MSG(progressed, "FTQ deadlock: event queue drained early");
+  }
+  std::vector<FtqTrace> out;
+  out.reserve(bodies.size());
+  for (const FtqThread* b : bodies) out.push_back(b->trace());
+  return out;
+}
+
+double ftq_work_loss(const std::vector<FtqTrace>& traces) {
+  std::uint64_t best = 0;
+  std::uint64_t total = 0;
+  std::uint64_t windows = 0;
+  for (const auto& t : traces) {
+    for (const std::uint64_t c : t.work_counts) {
+      best = std::max(best, c);
+      total += c;
+      ++windows;
+    }
+  }
+  if (windows == 0 || best == 0) return 0.0;
+  const double ideal = static_cast<double>(best) *
+                       static_cast<double>(windows);
+  return 1.0 - static_cast<double>(total) / ideal;
+}
+
+}  // namespace hpcos::noise

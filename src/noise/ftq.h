@@ -1,0 +1,62 @@
+// Fixed Time Quanta (FTQ) — the FWQ sibling from the same LLNL suite.
+//
+// Where FWQ fixes the work and measures elapsed time, FTQ fixes the time
+// window and counts how many unit work quanta complete inside it; noise
+// appears as depressed counts. The paper uses FWQ, but the benchmark
+// document it cites defines both, and FTQ's fixed windows make it the
+// natural probe for periodic interference (a tick at a fixed phase
+// depresses every k-th window).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "oskernel/kernel.h"
+
+namespace hpcos::noise {
+
+struct FtqConfig {
+  SimTime window = SimTime::from_ms(6.5);  // fixed wall-time window
+  SimTime unit_work = SimTime::us(50);     // one countable quantum
+  std::uint64_t windows = 200;             // windows to measure
+};
+
+struct FtqTrace {
+  hw::CoreId core = hw::kInvalidCore;
+  std::vector<std::uint64_t> work_counts;  // quanta completed per window
+
+  // Maximum possible count per window (no noise).
+  std::uint64_t ideal_count(const FtqConfig& cfg) const {
+    return static_cast<std::uint64_t>(cfg.window.ratio(cfg.unit_work));
+  }
+};
+
+class FtqThread final : public os::ThreadBody {
+ public:
+  explicit FtqThread(FtqConfig config);
+  void step(os::ThreadContext& ctx) override;
+
+  bool finished() const { return finished_; }
+  const FtqTrace& trace() const { return trace_; }
+
+ private:
+  FtqConfig config_;
+  FtqTrace trace_;
+  SimTime window_end_;
+  std::uint64_t count_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+// Spawn one FTQ thread per core in `cores`, run to completion, return the
+// traces in core order.
+std::vector<FtqTrace> run_ftq(os::NodeKernel& kernel, const hw::CpuSet& cores,
+                              FtqConfig config);
+
+// Noise summary over FTQ data: fraction of work lost relative to the
+// per-trace maximum observed count (the FTQ analogue of Eq. 2).
+double ftq_work_loss(const std::vector<FtqTrace>& traces);
+
+}  // namespace hpcos::noise

@@ -1,0 +1,185 @@
+#include "noise/profiles.h"
+
+namespace hpcos::noise {
+namespace {
+
+NoiseSourceSpec spec(std::string name, SourceKind kind, SourceScope scope,
+                     SimTime interval, DurationDist dur,
+                     double node_fraction = 1.0) {
+  NoiseSourceSpec s;
+  s.name = std::move(name);
+  s.kind = kind;
+  s.scope = scope;
+  s.mean_interval = interval;
+  s.duration = dur;
+  s.node_fraction = node_fraction;
+  return s;
+}
+
+DurationDist dist(SimTime median, double sigma, SimTime max) {
+  return DurationDist{.median = median, .sigma = sigma,
+                      .min = SimTime::zero(), .max = max};
+}
+
+// Residual noise present on production Fugaku Linux even with every
+// countermeasure enabled: the paper attributes it chiefly to sar (§6.3),
+// plus the 1 Hz residual nohz tick and a small hardware floor.
+void add_fugaku_linux_baseline(AnalyticNoiseProfile& p) {
+  p.sources.push_back(spec(
+      "residual-tick", SourceKind::kResidualTick, SourceScope::kPerCore,
+      SimTime::sec(1), dist(SimTime::ns(700), 0.0, SimTime::ns(700))));
+  p.sources.push_back(spec(
+      "sar-monitor", SourceKind::kSar, SourceScope::kAllCores,
+      SimTime::sec(10), dist(SimTime::us(6), 1.0, SimTime::from_us(50.4))));
+  p.sources.push_back(spec(
+      "hw-floor", SourceKind::kHardware, SourceScope::kPerCore,
+      SimTime::sec(5), dist(SimTime::us(10), 0.6, SimTime::us(45))));
+  // Population-tail sources: a small fraction of nodes occasionally run
+  // residual kernel work in the ~1 ms class. Invisible on a 16-node
+  // testbed (Table 2) and irrelevant to application windows, but across
+  // 9,216+ nodes x 1 h of FWQ they form the Figure 4b Linux tail.
+  p.sources.push_back(spec(
+      "slow-node-residual", SourceKind::kKworker,
+      SourceScope::kPerNodeRandomCore, SimTime::sec(600),
+      dist(SimTime::us(400), 0.4, SimTime::from_ms(1.3)),
+      /*node_fraction=*/0.02));
+  // A tiny fraction of nodes carry a misbehaving service; decisive for
+  // the full-scale (158,976-node) tail of Figure 4b.
+  p.sources.push_back(spec(
+      "straggler-service", SourceKind::kDaemon,
+      SourceScope::kPerNodeRandomCore, SimTime::sec(20),
+      dist(SimTime::from_ms(1.5), 0.4, SimTime::from_ms(3.5)),
+      /*node_fraction=*/2.5e-5));
+  p.base_jitter_mean = 0.0;
+  p.base_jitter_sd = 2e-6;
+}
+
+}  // namespace
+
+AnalyticNoiseProfile fugaku_linux_profile(const Countermeasures& cm) {
+  AnalyticNoiseProfile p;
+  p.name = "fugaku-linux";
+  add_fugaku_linux_baseline(p);
+
+  if (!cm.bind_daemons) {
+    // OS daemons free to wake on application cores. The frequent small
+    // activity dominates the rate; rare heavyweight service work (log
+    // rotation, package scans) produces the ~20 ms worst case of Table 2.
+    p.sources.push_back(spec(
+        "daemon-mix", SourceKind::kDaemon, SourceScope::kPerNodeRandomCore,
+        SimTime::ms(5), dist(SimTime::us(150), 1.0, SimTime::ms(10))));
+    p.sources.push_back(spec(
+        "daemon-heavy", SourceKind::kDaemon, SourceScope::kPerNodeRandomCore,
+        SimTime::sec(30), dist(SimTime::ms(6), 0.8, SimTime::from_ms(20.3))));
+  }
+  if (!cm.bind_kworkers) {
+    p.sources.push_back(spec(
+        "kworker-unbound", SourceKind::kKworker,
+        SourceScope::kPerNodeRandomCore, SimTime::sec(4),
+        dist(SimTime::us(150), 0.35, SimTime::us(266))));
+  }
+  if (!cm.bind_blkmq) {
+    p.sources.push_back(spec(
+        "blk-mq-worker", SourceKind::kBlkMq,
+        SourceScope::kPerNodeRandomCore, SimTime::sec(6),
+        dist(SimTime::us(220), 0.35, SimTime::us(388))));
+  }
+  if (!cm.stop_pmu_reads) {
+    // TCS collects PMU counters with cross-core IPIs: every core pays.
+    p.sources.push_back(spec(
+        "tcs-pmu-read", SourceKind::kPmuRead, SourceScope::kAllCores,
+        SimTime::sec(12), dist(SimTime::us(45), 0.5, SimTime::us(103))));
+  }
+  if (!cm.suppress_global_tlbi) {
+    // Single-threaded system processes releasing memory broadcast TLBIs;
+    // every application core stalls ~200 ns per flush (§4.2.2).
+    p.sources.push_back(spec(
+        "tlbi-broadcast", SourceKind::kTlbiStorm, SourceScope::kAllCores,
+        SimTime::sec(90), dist(SimTime::us(75), 0.15, SimTime::from_us(90.2))));
+  }
+  return p;
+}
+
+AnalyticNoiseProfile strip_population_tails(AnalyticNoiseProfile profile) {
+  std::erase_if(profile.sources, [](const NoiseSourceSpec& s) {
+    return s.node_fraction < 1.0;
+  });
+  return profile;
+}
+
+AnalyticNoiseProfile fugaku_mckernel_profile() {
+  AnalyticNoiseProfile p;
+  p.name = "fugaku-mckernel";
+  // The LWK runs no background activity whatsoever; what remains is the
+  // hardware floor (shared HBM/L2 traffic from the Linux partition).
+  p.sources.push_back(spec(
+      "hw-floor", SourceKind::kHardware, SourceScope::kPerCore,
+      SimTime::sec(10), dist(SimTime::us(6), 0.5, SimTime::us(30))));
+  p.sources.push_back(spec(
+      "hw-rare", SourceKind::kHardware, SourceScope::kPerCore,
+      SimTime::sec(300), dist(SimTime::us(25), 0.5, SimTime::us(60))));
+  // A few nodes show occasional sub-ms hardware excursions; these keep
+  // the Figure 4b McKernel curve near (slightly below) 24-rack Linux.
+  p.sources.push_back(spec(
+      "hw-tail", SourceKind::kHardware, SourceScope::kPerNodeRandomCore,
+      SimTime::sec(600), dist(SimTime::us(150), 0.4, SimTime::us(600)),
+      /*node_fraction=*/0.02));
+  p.base_jitter_mean = 0.0;
+  p.base_jitter_sd = 1e-6;
+  return p;
+}
+
+AnalyticNoiseProfile ofp_linux_profile() {
+  AnalyticNoiseProfile p;
+  p.name = "ofp-linux";
+  // CentOS 7.3, nohz_full on application cores but *no* cgroup isolation:
+  // daemons and kworkers wander onto application cores, device IRQs are
+  // balanced across the whole chip, and THP background work (khugepaged,
+  // compaction) stalls applications. KNL cores are slow, so each hit costs
+  // ~3x its A64FX equivalent — hence the 24 ms worst case in Figure 4a.
+  p.sources.push_back(spec(
+      "residual-tick", SourceKind::kResidualTick, SourceScope::kPerCore,
+      SimTime::sec(1), dist(SimTime::us(2), 0.0, SimTime::us(2))));
+  p.sources.push_back(spec(
+      "daemon-mix", SourceKind::kDaemon, SourceScope::kPerNodeRandomCore,
+      SimTime::ms(5), dist(SimTime::us(150), 0.5, SimTime::ms(1))));
+  p.sources.push_back(spec(
+      "daemon-heavy", SourceKind::kDaemon, SourceScope::kPerNodeRandomCore,
+      SimTime::sec(90), dist(SimTime::ms(4), 0.6, SimTime::from_ms(17.5))));
+  p.sources.push_back(spec(
+      "kworker-unbound", SourceKind::kKworker,
+      SourceScope::kPerNodeRandomCore, SimTime::sec(1),
+      dist(SimTime::us(120), 0.8, SimTime::ms(2))));
+  p.sources.push_back(spec(
+      "device-irq", SourceKind::kDeviceIrq, SourceScope::kPerCore,
+      SimTime::sec(2), dist(SimTime::us(15), 0.8, SimTime::us(200))));
+  p.sources.push_back(spec(
+      "thp-khugepaged", SourceKind::kKworker, SourceScope::kPerCore,
+      SimTime::sec(30), dist(SimTime::us(300), 0.6, SimTime::ms(3))));
+  p.sources.push_back(spec(
+      "hw-floor", SourceKind::kHardware, SourceScope::kPerCore,
+      SimTime::sec(1), dist(SimTime::us(20), 0.8, SimTime::us(500))));
+  p.base_jitter_mean = 1e-5;
+  p.base_jitter_sd = 5e-5;
+  return p;
+}
+
+AnalyticNoiseProfile ofp_mckernel_profile() {
+  AnalyticNoiseProfile p;
+  p.name = "ofp-mckernel";
+  // LWK cores are free of OS activity; the KNL hardware floor (4-way SMT
+  // arbitration, MCDRAM) still produces occasional ~0.5 ms excursions,
+  // which is what keeps the Figure 4a McKernel curve below but not at the
+  // ideal 6.5 ms line.
+  p.sources.push_back(spec(
+      "hw-floor", SourceKind::kHardware, SourceScope::kPerCore,
+      SimTime::sec(1), dist(SimTime::us(25), 0.7, SimTime::us(400))));
+  p.sources.push_back(spec(
+      "hw-rare", SourceKind::kHardware, SourceScope::kPerCore,
+      SimTime::sec(30), dist(SimTime::us(120), 0.6, SimTime::us(500))));
+  p.base_jitter_mean = 5e-6;
+  p.base_jitter_sd = 2e-5;
+  return p;
+}
+
+}  // namespace hpcos::noise

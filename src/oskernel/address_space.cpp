@@ -1,0 +1,89 @@
+#include "oskernel/address_space.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace hpcos::os {
+
+AddressSpace::AddressSpace(std::uint64_t base) : next_addr_(base) {}
+
+std::uint64_t AddressSpace::map(std::uint64_t length, hw::PageSize page_size,
+                                PagingPolicy policy) {
+  HPCOS_CHECK(length > 0);
+  const std::uint64_t page = hw::bytes(page_size);
+  // Align the start to the page size (required for large-page backing).
+  next_addr_ = (next_addr_ + page - 1) / page * page;
+  const std::uint64_t start = next_addr_;
+  VmArea area{.start = start, .length = length, .page_size = page_size};
+  if (policy == PagingPolicy::kPrePopulate) {
+    area.populated_pages = area.total_pages();
+  }
+  next_addr_ += area.total_pages() * page;
+  areas_.emplace(start, area);
+  return start;
+}
+
+AddressSpace::UnmapResult AddressSpace::unmap(std::uint64_t start,
+                                              std::uint64_t length) {
+  auto it = areas_.find(start);
+  HPCOS_CHECK_MSG(it != areas_.end(), "unmap: not an area start");
+  VmArea& area = it->second;
+  HPCOS_CHECK_MSG(length <= area.length, "unmap: length exceeds area");
+
+  const std::uint64_t page = hw::bytes(area.page_size);
+  const std::uint64_t pages_removed =
+      std::min((length + page - 1) / page, area.total_pages());
+  // Pages populate from the low end, so the unmapped prefix holds
+  // min(populated, removed) resident pages.
+  const std::uint64_t resident_removed =
+      std::min(area.populated_pages, pages_removed);
+
+  UnmapResult r{.pages_released = pages_removed,
+                .tlb_flushes = resident_removed};
+
+  if (pages_removed >= area.total_pages()) {
+    areas_.erase(it);
+  } else {
+    VmArea rest = area;
+    rest.start += pages_removed * page;
+    rest.length -= pages_removed * page;
+    rest.populated_pages = area.populated_pages - resident_removed;
+    areas_.erase(it);
+    areas_.emplace(rest.start, rest);
+  }
+  return r;
+}
+
+std::uint64_t AddressSpace::touch(std::uint64_t addr, std::uint64_t length) {
+  // Find the area containing addr: last area with start <= addr.
+  auto it = areas_.upper_bound(addr);
+  HPCOS_CHECK_MSG(it != areas_.begin(), "touch: unmapped address");
+  --it;
+  VmArea& area = it->second;
+  HPCOS_CHECK_MSG(addr >= area.start && addr < area.start + area.length,
+                  "touch: unmapped address");
+  const std::uint64_t page = hw::bytes(area.page_size);
+  const std::uint64_t end =
+      std::min(addr + length, area.start + area.length);
+  const std::uint64_t last_page_needed =
+      (end - area.start + page - 1) / page;
+  if (last_page_needed <= area.populated_pages) return 0;
+  const std::uint64_t faults = last_page_needed - area.populated_pages;
+  area.populated_pages = last_page_needed;
+  return faults;
+}
+
+std::uint64_t AddressSpace::mapped_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, a] : areas_) total += a.length;
+  return total;
+}
+
+std::uint64_t AddressSpace::resident_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, a] : areas_) total += a.resident_bytes();
+  return total;
+}
+
+}  // namespace hpcos::os

@@ -1,0 +1,32 @@
+// Kernel operation costs.
+//
+// Defaults reflect the magnitudes reported for tuned HPC kernels; each
+// kernel model overrides what differs (e.g. McKernel's cheaper traps and
+// absent ticks). Every figure the harness regenerates depends only on
+// relative OS behaviour, so these are calibration knobs, not truth claims.
+#pragma once
+
+#include "common/sim_time.h"
+
+namespace hpcos::os {
+
+struct KernelCosts {
+  // Thread context switch (register state + runqueue bookkeeping + cache
+  // disturbance surcharge).
+  SimTime context_switch = SimTime::ns(1500);
+  // Syscall trap entry/exit overhead added to every call's service time.
+  SimTime syscall_trap = SimTime::ns(150);
+  // Timer interrupt handler on a ticking core.
+  SimTime tick_duration = SimTime::us(2);
+  // Residual once-per-second housekeeping tick on nohz_full cores.
+  SimTime residual_tick_duration = SimTime::ns(700);
+  // Page fault service: base page (4K/64K) and large page (2M; extra cost
+  // is dominated by zeroing).
+  SimTime page_fault_base = SimTime::us(1);
+  SimTime page_fault_large = SimTime::us(8);
+  // Cost per page of tearing down a mapping (PTE clear + accounting),
+  // excluding the TLB invalidation itself.
+  SimTime unmap_per_page = SimTime::ns(120);
+};
+
+}  // namespace hpcos::os

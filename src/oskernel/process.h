@@ -1,0 +1,45 @@
+// Process model: an address space plus memory-management policy knobs.
+//
+// The policy fields are where the three OS environments differ:
+//  * OFP Linux: THP (2M where possible), demand paging, glibc-style heap
+//    that returns large freed blocks to the OS (mmap/munmap churn).
+//  * Fugaku Linux: hugeTLBfs-backed 2M (contiguous bit) or 512M pages,
+//    optional pre-population, caching allocator.
+//  * McKernel: large-page-first from-scratch memory manager that retains
+//    physical memory per process (no churn, no broadcast flushes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "oskernel/address_space.h"
+#include "oskernel/types.h"
+
+namespace hpcos::os {
+
+// What the allocator does with big freed blocks.
+enum class HeapBehavior : std::uint8_t {
+  kReleaseToOs,  // munmap immediately (glibc default for mmap'd chunks)
+  kCached,       // keep for reuse (Fugaku runtime / McKernel)
+};
+
+struct ProcessAttrs {
+  std::string name;
+  hw::PageSize preferred_page_size = hw::PageSize::k4K;
+  PagingPolicy paging = PagingPolicy::kDemand;
+  HeapBehavior heap = HeapBehavior::kReleaseToOs;
+};
+
+struct Process {
+  Pid pid = kInvalidPid;
+  ProcessAttrs attrs;
+  AddressSpace address_space;
+  std::vector<ThreadId> threads;
+
+  // Number of live threads with a single-core footprint; used by the
+  // RHEL 8.2 TLBI optimization (single-CPU processes flush locally).
+  bool single_core() const { return threads.size() <= 1; }
+};
+
+}  // namespace hpcos::os

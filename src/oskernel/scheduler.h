@@ -1,0 +1,52 @@
+// Scheduler policy interface.
+//
+// Two implementations exist: linuxk::CfsScheduler (fair, tick-driven,
+// wake-preempting, load-balancing across allowed cores) and
+// mckernel::LwkScheduler (tick-less cooperative round-robin, §5). The
+// NodeKernel machinery is policy-free and consults this interface at every
+// decision point.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hw/ids.h"
+#include "oskernel/thread.h"
+
+namespace hpcos::os {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  // Pick the core a newly-runnable thread should be queued on. Must honor
+  // thread.affinity. `running_load` reports runnable+running counts per
+  // core, indexed by CoreId.
+  virtual hw::CoreId select_core(const Thread& thread,
+                                 const std::vector<std::size_t>& load) = 0;
+
+  virtual void enqueue(hw::CoreId core, Thread& thread) = 0;
+  // Pop the next thread to run on `core`; kInvalidThread when idle.
+  virtual ThreadId pick_next(hw::CoreId core) = 0;
+  // Remove a thread from any queue it is on (exit or re-placement).
+  virtual void remove(const Thread& thread) = 0;
+
+  virtual std::size_t runnable_count(hw::CoreId core) const = 0;
+
+  // Should `woken` immediately preempt `running` on the same core?
+  // (CFS wake-up preemption: yes for freshly woken sleepers; LWK: never.)
+  virtual bool preempt_on_wakeup(const Thread& woken,
+                                 const Thread& running) const = 0;
+
+  // Tick policy: whether a periodic tick must run on this core right now
+  // (queue depth drives nohz_full's "tick restored when >1 runnable").
+  virtual bool needs_tick(hw::CoreId core, bool core_busy) const = 0;
+  // Invoked from the timer tick: decide whether the running thread should
+  // be switched out in favor of a queued one.
+  virtual bool should_resched_on_tick(hw::CoreId core, Thread& running) = 0;
+
+  // Charge `elapsed` of execution to the thread (vruntime bookkeeping).
+  virtual void charge(Thread& thread, SimTime elapsed) = 0;
+};
+
+}  // namespace hpcos::os

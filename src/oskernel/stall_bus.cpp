@@ -1,0 +1,15 @@
+#include "oskernel/stall_bus.h"
+
+#include "oskernel/kernel.h"
+
+namespace hpcos::os {
+
+void ChipStallBus::broadcast_stall(hw::CoreId initiator, SimTime duration,
+                                   sim::TraceCategory category,
+                                   const std::string& label) {
+  for (NodeKernel* k : kernels_) {
+    k->stall_all_cores_except(initiator, duration, category, label);
+  }
+}
+
+}  // namespace hpcos::os

@@ -1,0 +1,36 @@
+// Chip-wide hardware stall distribution.
+//
+// The ARM64 broadcast TLBI reaches every core in the inner-sharable domain
+// — the whole chip — regardless of which kernel owns a core. On a
+// multi-kernel node (Linux on the assistant cores, McKernel on the
+// application cores) a flush initiated inside Linux therefore stalls LWK
+// cores too. Both kernels register with the node's ChipStallBus and
+// broadcast stalls are fanned out to every registered kernel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "hw/ids.h"
+#include "sim/trace.h"
+
+namespace hpcos::os {
+
+class NodeKernel;
+
+class ChipStallBus {
+ public:
+  void attach(NodeKernel& kernel) { kernels_.push_back(&kernel); }
+
+  // Stall every core on the chip except `initiator` by `duration`.
+  void broadcast_stall(hw::CoreId initiator, SimTime duration,
+                       sim::TraceCategory category, const std::string& label);
+
+  std::size_t attached_kernels() const { return kernels_.size(); }
+
+ private:
+  std::vector<NodeKernel*> kernels_;
+};
+
+}  // namespace hpcos::os

@@ -1,0 +1,49 @@
+#include "oskernel/syscall.h"
+
+namespace hpcos::os {
+
+std::string to_string(Syscall s) {
+  switch (s) {
+    case Syscall::kRead:
+      return "read";
+    case Syscall::kWrite:
+      return "write";
+    case Syscall::kOpen:
+      return "open";
+    case Syscall::kClose:
+      return "close";
+    case Syscall::kStat:
+      return "stat";
+    case Syscall::kMmap:
+      return "mmap";
+    case Syscall::kMunmap:
+      return "munmap";
+    case Syscall::kBrk:
+      return "brk";
+    case Syscall::kFutex:
+      return "futex";
+    case Syscall::kClone:
+      return "clone";
+    case Syscall::kExitGroup:
+      return "exit_group";
+    case Syscall::kGetTimeOfDay:
+      return "gettimeofday";
+    case Syscall::kSchedYield:
+      return "sched_yield";
+    case Syscall::kNanosleep:
+      return "nanosleep";
+    case Syscall::kIoctl:
+      return "ioctl";
+    case Syscall::kPerfEventOpen:
+      return "perf_event_open";
+    case Syscall::kSignal:
+      return "rt_sigaction";
+    case Syscall::kKill:
+      return "kill";
+    case Syscall::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace hpcos::os

@@ -1,0 +1,70 @@
+// System call numbers and request/result records.
+//
+// McKernel's defining property is the *split* of this table: a small set of
+// performance-sensitive calls is implemented locally in the LWK and
+// everything else is delegated to Linux through the proxy process. Keeping
+// the numbers kernel-neutral lets both kernel models share workload bodies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace hpcos::os {
+
+enum class Syscall : std::uint16_t {
+  kRead,
+  kWrite,
+  kOpen,
+  kClose,
+  kStat,
+  kMmap,
+  kMunmap,
+  kBrk,
+  kFutex,
+  kClone,
+  kExitGroup,
+  kGetTimeOfDay,
+  kSchedYield,
+  kNanosleep,
+  kIoctl,        // Tofu STAG registration goes through here (§5.1)
+  kPerfEventOpen,
+  kSignal,       // rt_sigaction-ish
+  kKill,
+  kCount
+};
+std::string to_string(Syscall s);
+
+// Device ioctl request codes used by the study's Tofu driver model
+// (§5.1). Both kernels understand them: Linux serves them in its Tofu
+// driver (page-by-page pinning), McKernel's PicoDriver intercepts them.
+inline constexpr std::uint64_t kTofuRegisterStag = 0x7001;
+inline constexpr std::uint64_t kTofuDeregisterStag = 0x7002;
+
+struct SyscallArgs {
+  // Interpreted per call; for memory calls: addr/length; for ioctl: request
+  // code; for nanosleep: duration in arg0 (ns).
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint64_t arg2 = 0;
+};
+
+struct SyscallRequest {
+  Syscall no = Syscall::kGetTimeOfDay;
+  SyscallArgs args;
+};
+
+struct SyscallResult {
+  std::int64_t value = 0;
+  bool ok = true;
+  // How the call was served; used by tests and the offload ablation bench.
+  enum class Path : std::uint8_t {
+    kLocal,        // handled by the kernel the thread runs on
+    kOffloaded,    // delegated to Linux via the proxy process
+    kFastDriver,   // served by the PicoDriver split-driver fast path
+  } path = Path::kLocal;
+  SimTime service_time;  // kernel time consumed to serve the call
+};
+
+}  // namespace hpcos::os

@@ -1,0 +1,26 @@
+// Identifier and policy types shared by all kernel models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hpcos::os {
+
+using ThreadId = std::uint64_t;
+using Pid = std::uint64_t;
+inline constexpr ThreadId kInvalidThread = 0;
+inline constexpr Pid kInvalidPid = 0;
+
+enum class ThreadState : std::uint8_t {
+  kReady,    // runnable, waiting for a core
+  kRunning,  // currently occupying a core
+  kBlocked,  // sleeping or waiting on a syscall/offload reply
+  kExited,
+};
+std::string to_string(ThreadState s);
+
+// Execution mode of the current burst, for PMU-style accounting: the paper
+// attributes noise by watching user vs kernel instruction counts (§4.2.2).
+enum class ExecMode : std::uint8_t { kUser, kKernel };
+
+}  // namespace hpcos::os

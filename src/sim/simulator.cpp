@@ -1,0 +1,74 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace hpcos::sim {
+
+EventId Simulator::schedule_at(SimTime t, EventFn fn) {
+  HPCOS_CHECK_MSG(t >= now_, "event scheduled in the past");
+  HPCOS_CHECK(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(HeapEntry{t, seq});
+  pending_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+EventId Simulator::schedule_after(SimTime dt, EventFn fn) {
+  HPCOS_CHECK_MSG(!dt.is_negative(), "negative delay");
+  return schedule_at(now_ + dt, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return pending_.erase(id.seq) > 0;
+}
+
+bool Simulator::pop_next(HeapEntry& out, EventFn& fn) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    heap_.pop();
+    auto it = pending_.find(top.seq);
+    if (it == pending_.end()) continue;  // cancelled
+    out = top;
+    fn = std::move(it->second);
+    pending_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  HeapEntry e;
+  EventFn fn;
+  if (!pop_next(e, fn)) return false;
+  now_ = e.time;
+  ++executed_;
+  fn();
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime t_end) {
+  HPCOS_CHECK(t_end >= now_);
+  std::size_t n = 0;
+  while (!heap_.empty()) {
+    // Peek at the earliest live event without committing to it.
+    HeapEntry top = heap_.top();
+    if (pending_.find(top.seq) == pending_.end()) {
+      heap_.pop();
+      continue;
+    }
+    if (top.time > t_end) break;
+    step();
+    ++n;
+  }
+  now_ = t_end;
+  return n;
+}
+
+std::size_t Simulator::run_all(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace hpcos::sim

@@ -1,0 +1,84 @@
+// Discrete-event simulation core.
+//
+// The whole node model runs on this engine: kernel ticks, IRQs, daemon
+// wakeups, compute-burst completions and IKC message deliveries are all
+// events. Determinism is guaranteed by a strict (time, sequence) total
+// order: two events at the same instant fire in scheduling order, so a run
+// is a pure function of (configuration, seed) regardless of host threading.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+
+namespace hpcos::sim {
+
+using EventFn = std::function<void()>;
+
+// Handle for cancellation. Default-constructed ids are invalid.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedule fn at absolute time t (must be >= now()).
+  EventId schedule_at(SimTime t, EventFn fn);
+  // Schedule fn `dt` after now (dt >= 0).
+  EventId schedule_after(SimTime dt, EventFn fn);
+
+  // Cancel a pending event. Returns true when the event had not yet fired
+  // (and had not been cancelled before).
+  bool cancel(EventId id);
+
+  // Execute the next pending event, if any. Returns false when the queue
+  // is empty.
+  bool step();
+
+  // Run events with timestamp <= t_end, then advance the clock to t_end.
+  // Returns the number of events executed.
+  std::size_t run_until(SimTime t_end);
+
+  // Run until the queue drains or `max_events` have executed (a guard
+  // against runaway self-scheduling models).
+  std::size_t run_all(std::size_t max_events = SIZE_MAX);
+
+  bool has_pending() const { return !pending_.empty(); }
+  std::size_t pending_count() const { return pending_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    bool operator>(const HeapEntry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  // Pops the next live heap entry into `out`; skips cancelled ones.
+  bool pop_next(HeapEntry& out, EventFn& fn);
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::unordered_map<std::uint64_t, EventFn> pending_;
+};
+
+}  // namespace hpcos::sim

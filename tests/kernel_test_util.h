@@ -1,0 +1,137 @@
+// Shared fixtures: small, quiet node assemblies for kernel unit tests.
+//
+// Tests use a reduced topology (2 system + 6 application cores, A64FX-like
+// flags) and *empty noise profiles* so timing assertions are exact; the
+// noise-profile machinery is tested separately with explicit sources.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "hw/platform.h"
+#include "ihk/ihk.h"
+#include "linuxk/linux_kernel.h"
+#include "mckernel/mckernel.h"
+#include "mckernel/offload.h"
+#include "oskernel/stall_bus.h"
+#include "sim/simulator.h"
+
+namespace hpcos::test {
+
+inline hw::NodeTopology small_topology() {
+  hw::NodeTopology t("test-node", /*physical_cores=*/8, /*smt_ways=*/1);
+  const auto n = static_cast<std::size_t>(t.logical_cores());
+  t.add_numa_domain(hw::NumaDomain{
+      .id = 0, .cores = hw::CpuSet::range(n, 2, 7),
+      .memory_bytes = 8ull << 30});
+  t.add_numa_domain(hw::NumaDomain{
+      .id = 1, .cores = hw::CpuSet::range(n, 0, 1),
+      .memory_bytes = 2ull << 30, .is_system_domain = true});
+  t.set_core_partition(hw::CpuSet::range(n, 0, 1), hw::CpuSet::range(n, 2, 7));
+  return t;
+}
+
+// Quiet Linux config: no noise sources, nohz_full application cores,
+// broadcast-patched TLBI (Fugaku-like defaults without background noise).
+inline linuxk::LinuxConfig quiet_linux_config(const hw::NodeTopology& topo) {
+  linuxk::LinuxConfig c;
+  c.nohz_full_cores = topo.application_cores();
+  c.system_cores = topo.system_cores();
+  c.base_page_size = hw::PageSize::k64K;
+  c.tlb_flush = linuxk::TlbFlushMode::kBroadcastPatched;
+  c.tlb = hw::TlbParams{.l1_entries = 16,
+                        .l2_entries = 1024,
+                        .has_broadcast_tlbi = true,
+                        .broadcast_stall_per_flush = SimTime::ns(200)};
+  return c;
+}
+
+// A Linux-only node owning every core.
+struct LinuxNode {
+  hw::NodeTopology topo = small_topology();
+  sim::Simulator sim;
+  sim::TraceBuffer trace{8192};
+  std::unique_ptr<linuxk::LinuxKernel> kernel;
+
+  explicit LinuxNode(std::function<void(linuxk::LinuxConfig&)> tweak = {}) {
+    linuxk::LinuxConfig cfg = quiet_linux_config(topo);
+    if (tweak) tweak(cfg);
+    kernel = std::make_unique<linuxk::LinuxKernel>(
+        sim, topo, topo.all_cores(), std::move(cfg), Seed{1234}, &trace);
+    kernel->boot();
+  }
+};
+
+// A multi-kernel node: Linux on the system cores, McKernel (via IHK) on
+// the application cores, offload path wired.
+struct MultiKernelNode {
+  hw::NodeTopology topo = small_topology();
+  sim::Simulator sim;
+  sim::TraceBuffer trace{8192};
+  os::ChipStallBus bus;
+  std::unique_ptr<linuxk::LinuxKernel> linux;
+  std::unique_ptr<ihk::IhkManager> ihk_mgr;
+  int os_id = -1;
+  std::unique_ptr<mck::McKernel> lwk;
+  std::unique_ptr<mck::SyscallOffloader> offloader;
+
+  explicit MultiKernelNode(
+      std::function<void(mck::McKernelConfig&)> tweak_lwk = {},
+      std::function<void(linuxk::LinuxConfig&)> tweak_linux = {}) {
+    linuxk::LinuxConfig lcfg = quiet_linux_config(topo);
+    if (tweak_linux) tweak_linux(lcfg);
+    linux = std::make_unique<linuxk::LinuxKernel>(
+        sim, topo, topo.system_cores(), std::move(lcfg), Seed{77}, &trace,
+        &bus);
+    linux->boot();
+
+    ihk_mgr = std::make_unique<ihk::IhkManager>(
+        sim, topo, /*host_cores=*/topo.all_cores(),
+        /*protected_cores=*/topo.system_cores(),
+        /*host_memory=*/8ull << 30);
+    HPCOS_CHECK(ihk_mgr->partition().reserve_cpus(topo.application_cores()));
+    HPCOS_CHECK(ihk_mgr->partition().reserve_memory(6ull << 30));
+    os_id = ihk_mgr->create_os_instance(topo.application_cores(),
+                                        6ull << 30);
+    HPCOS_CHECK(os_id >= 0);
+
+    mck::McKernelConfig mcfg = mck::McKernelConfig::defaults();
+    mcfg.hw_noise = noise::AnalyticNoiseProfile{};  // quiet for tests
+    if (tweak_lwk) tweak_lwk(mcfg);
+    lwk = std::make_unique<mck::McKernel>(sim, topo,
+                                          topo.application_cores(),
+                                          std::move(mcfg), Seed{88}, &trace,
+                                          &bus);
+    lwk->boot();
+    ihk_mgr->boot(os_id);
+
+    auto& inst = ihk_mgr->instance(os_id);
+    offloader = std::make_unique<mck::SyscallOffloader>(
+        *lwk, *linux, *inst.to_host, *inst.to_lwk, topo.system_cores());
+  }
+};
+
+// Thread body driven by a lambda: return false to exit.
+class ScriptBody final : public os::ThreadBody {
+ public:
+  using Step = std::function<bool(os::ThreadContext&)>;
+  explicit ScriptBody(Step step) : step_(std::move(step)) {}
+  void step(os::ThreadContext& ctx) override {
+    if (!step_(ctx)) ctx.exit();
+  }
+
+ private:
+  Step step_;
+};
+
+inline os::ThreadId spawn_script(os::NodeKernel& k, ScriptBody::Step step,
+                                 os::SpawnAttrs attrs = {}) {
+  return k.spawn(std::make_unique<ScriptBody>(std::move(step)),
+                 std::move(attrs));
+}
+
+inline hw::CpuSet one_core(const hw::NodeTopology& topo, hw::CoreId id) {
+  return hw::CpuSet::of(static_cast<std::size_t>(topo.logical_cores()), {id});
+}
+
+}  // namespace hpcos::test

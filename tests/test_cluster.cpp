@@ -1,0 +1,338 @@
+// Unit + integration tests: OS environments, machine-scale noise sampling,
+// the BSP engine, SimNode assembly, and the FWQ campaign machinery.
+#include <gtest/gtest.h>
+
+#include "cluster/bsp.h"
+#include "cluster/fwq_campaign.h"
+#include "cluster/machine_noise.h"
+#include "cluster/node.h"
+#include "cluster/osenv.h"
+#include "noise/fwq.h"
+
+namespace hpcos::cluster {
+namespace {
+
+using namespace hpcos::literals;
+
+// ---- OsEnvironment ----
+
+TEST(OsEnv, FactoriesMatchTheStudy) {
+  const auto ofp_l = make_ofp_linux_env();
+  const auto ofp_m = make_ofp_mckernel_env();
+  const auto fug_l = make_fugaku_linux_env();
+  const auto fug_m = make_fugaku_mckernel_env();
+
+  EXPECT_EQ(ofp_l.os, OsKind::kLinux);
+  EXPECT_EQ(ofp_m.os, OsKind::kMcKernel);
+  // THP is partial; the LWK and hugeTLBfs reach full coverage.
+  EXPECT_LT(ofp_l.mem.large_page_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(ofp_m.mem.large_page_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(fug_l.mem.large_page_coverage, 1.0);
+  // Only OFP Linux releases heap blocks to the OS.
+  EXPECT_EQ(ofp_l.mem.heap, os::HeapBehavior::kReleaseToOs);
+  EXPECT_EQ(fug_l.mem.heap, os::HeapBehavior::kCached);
+  // LWKs carry no kernel-path overhead.
+  EXPECT_GT(ofp_l.mem.os_overhead, 0.0);
+  EXPECT_DOUBLE_EQ(ofp_m.mem.os_overhead, 0.0);
+  EXPECT_DOUBLE_EQ(fug_m.mem.os_overhead, 0.0);
+  // Registration paths.
+  EXPECT_EQ(fug_l.rdma_path, net::RegistrationPath::kLinuxNative);
+  EXPECT_EQ(fug_m.rdma_path, net::RegistrationPath::kMcKernelPicoDriver);
+  EXPECT_EQ(make_fugaku_mckernel_env(false).rdma_path,
+            net::RegistrationPath::kMcKernelOffloaded);
+}
+
+TEST(OsEnv, TlbFactorReflectsCoverageAndWorkingSet) {
+  const auto lin = make_ofp_linux_env();
+  const auto mck = make_ofp_mckernel_env();
+  const std::uint64_t ws = 1ull << 30;  // beyond the KNL 2M reach
+  const double f_lin = lin.tlb_compute_factor(ws, 0.8);
+  const double f_mck = mck.tlb_compute_factor(ws, 0.8);
+  EXPECT_GT(f_lin, f_mck);  // partial THP coverage + kernel overhead
+  // Working sets inside even the 4K reach (64 entries x 4K = 256 KiB):
+  // only the kernel-overhead term remains.
+  const double small = lin.tlb_compute_factor(128 << 10, 0.8);
+  EXPECT_NEAR(small, 1.0 + 0.8 * lin.mem.os_overhead, 1e-9);
+  // Coverage hints can only improve Linux toward the LWK, never past it.
+  const double hinted = lin.tlb_compute_factor(ws, 0.8, 1.0);
+  EXPECT_LE(hinted, f_lin);
+  EXPECT_GE(hinted, f_mck);
+}
+
+TEST(OsEnv, ChurnAndFaultCostsScale) {
+  const auto lin = make_ofp_linux_env();
+  EXPECT_EQ(lin.churn_median(0), SimTime::zero());
+  EXPECT_GT(lin.churn_median(256ull << 20), lin.churn_median(64ull << 20));
+  EXPECT_GT(lin.fault_in(1ull << 30), lin.fault_in(1ull << 25));
+  // McKernel faults are cheaper per byte.
+  const auto mck = make_ofp_mckernel_env();
+  EXPECT_LT(mck.fault_in(1ull << 30), lin.fault_in(1ull << 30));
+}
+
+// ---- MachineNoiseSampler ----
+
+TEST(MachineNoise, QuietProfileProducesNoDelay) {
+  MachineNoiseSampler s(noise::AnalyticNoiseProfile{}, 1024, 48,
+                        RngStream(Seed{1}, 0));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.sample_global_delay(10_ms), SimTime::zero());
+  }
+}
+
+TEST(MachineNoise, DelayGrowsWithNodeCount) {
+  const auto profile = noise::ofp_linux_profile();
+  auto mean_delay = [&](std::int64_t nodes) {
+    MachineNoiseSampler s(profile, nodes, 256, RngStream(Seed{2}, 7));
+    double sum = 0;
+    for (int i = 0; i < 3000; ++i) {
+      sum += s.sample_global_delay(20_ms).to_us();
+    }
+    return sum / 3000;
+  };
+  const double d16 = mean_delay(16);
+  const double d8192 = mean_delay(8192);
+  EXPECT_GT(d8192, d16 * 3);
+}
+
+TEST(MachineNoise, ExpectedRateMatchesSampledMean) {
+  // One deterministic per-core source: expected per-thread overhead is
+  // duration/interval; the sampled global delay divided by threads should
+  // approach it at small scale.
+  noise::AnalyticNoiseProfile p;
+  p.sources.push_back(noise::NoiseSourceSpec{
+      .name = "s",
+      .kind = noise::SourceKind::kHardware,
+      .scope = noise::SourceScope::kPerCore,
+      .mean_interval = 100_ms,
+      .duration = noise::DurationDist{.median = 40_us, .sigma = 0.0,
+                                      .min = SimTime::zero(),
+                                      .max = 40_us}});
+  MachineNoiseSampler s(p, 1, 1, RngStream(Seed{3}, 0));
+  EXPECT_NEAR(s.expected_rate(), 40e3 / 100e6, 1e-9);
+  double total_us = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    total_us += s.sample_global_delay(10_ms).to_us();
+  }
+  // One thread: delay is just its own hits: mean = 10ms/100ms * 40us.
+  EXPECT_NEAR(total_us / n, 4.0, 0.5);
+}
+
+TEST(MachineNoise, StragglersGateOnPopulation) {
+  noise::AnalyticNoiseProfile p;
+  p.sources.push_back(noise::NoiseSourceSpec{
+      .name = "straggler",
+      .kind = noise::SourceKind::kDaemon,
+      .scope = noise::SourceScope::kPerNodeRandomCore,
+      .mean_interval = 1_s,
+      .duration = noise::DurationDist{.median = 2_ms, .sigma = 0.0,
+                                      .min = SimTime::zero(), .max = 2_ms},
+      .node_fraction = 1e-4});
+  // At 100 nodes the expected straggler count is 0.01: nearly always
+  // inactive. At 1M nodes it is always active.
+  int active_small = 0;
+  int active_large = 0;
+  for (int i = 0; i < 200; ++i) {
+    MachineNoiseSampler small(p, 100, 48,
+                              RngStream(Seed{4}, std::uint64_t(i)));
+    MachineNoiseSampler large(p, 1'000'000, 48,
+                              RngStream(Seed{4}, std::uint64_t(i)));
+    active_small += small.active_source_count() > 0 ? 1 : 0;
+    active_large += large.active_source_count() > 0 ? 1 : 0;
+  }
+  EXPECT_LT(active_small, 10);
+  EXPECT_EQ(active_large, 200);
+}
+
+// ---- BspEngine ----
+
+class CalibrationWorkload final : public Workload {
+ public:
+  std::string name() const override { return "calibration"; }
+  int iterations() const override { return 10; }
+  RankWork rank_work(int, const JobConfig&,
+                     const OsEnvironment&) const override {
+    RankWork w;
+    w.compute = SimTime::ms(10);
+    w.working_set_bytes = 1 << 20;  // fits every TLB
+    w.mem_bound_fraction = 0.0;     // no overhead term
+    return w;
+  }
+};
+
+TEST(BspEngine, DeterministicForFixedSeed) {
+  const auto env = make_fugaku_mckernel_env();
+  const JobConfig job{.nodes = 64, .ranks_per_node = 4,
+                      .threads_per_rank = 12};
+  CalibrationWorkload w;
+  const auto a = BspEngine(env, job, Seed{9}).run(w);
+  const auto b = BspEngine(env, job, Seed{9}).run(w);
+  EXPECT_EQ(a.total, b.total);
+  const auto c = BspEngine(env, job, Seed{10}).run(w);
+  EXPECT_NE(c.total, a.total);
+}
+
+TEST(BspEngine, PureComputeLowerBound) {
+  const auto env = make_fugaku_mckernel_env();
+  const JobConfig job{.nodes = 1, .ranks_per_node = 1,
+                      .threads_per_rank = 1};
+  CalibrationWorkload w;
+  const auto r = BspEngine(env, job, Seed{1}).run(w);
+  ASSERT_EQ(r.iteration_times.size(), 10u);
+  for (const SimTime t : r.iteration_times) {
+    EXPECT_GE(t, SimTime::ms(10));
+    EXPECT_LT(t, SimTime::ms(11));  // noise floor only
+  }
+}
+
+TEST(BspEngine, NoisyLinuxSlowerAtScaleThanSmall) {
+  const auto env = make_ofp_linux_env();
+  CalibrationWorkload w;
+  const auto small =
+      BspEngine(env, JobConfig{.nodes = 4, .ranks_per_node = 16,
+                               .threads_per_rank = 16},
+                Seed{3})
+          .run(w);
+  const auto large =
+      BspEngine(env, JobConfig{.nodes = 8192, .ranks_per_node = 16,
+                               .threads_per_rank = 16},
+                Seed{3})
+          .run(w);
+  EXPECT_GT(large.total, small.total);
+}
+
+class RegistrationWorkload final : public Workload {
+ public:
+  std::string name() const override { return "reg"; }
+  int iterations() const override { return 1; }
+  RankWork rank_work(int, const JobConfig&,
+                     const OsEnvironment&) const override {
+    RankWork w;
+    w.compute = SimTime::ms(1);
+    return w;
+  }
+  InitWork init_work(const JobConfig&, const OsEnvironment&) const override {
+    InitWork i;
+    i.rdma_registrations = 100;
+    i.rdma_bytes_each = 64ull << 20;
+    return i;
+  }
+};
+
+TEST(BspEngine, RegistrationInitFollowsRdmaPath) {
+  const JobConfig job{.nodes = 256, .ranks_per_node = 4,
+                      .threads_per_rank = 12};
+  RegistrationWorkload w;
+  const auto lin =
+      BspEngine(make_fugaku_linux_env(), job, Seed{5}).run(w);
+  const auto pico =
+      BspEngine(make_fugaku_mckernel_env(), job, Seed{5}).run(w);
+  EXPECT_GT(lin.init_time, pico.init_time.scaled(5.0));
+}
+
+TEST(BspEngine, RelativePerformanceMatchesPairedRuns) {
+  const JobConfig job{.nodes = 128, .ranks_per_node = 4,
+                      .threads_per_rank = 12};
+  CalibrationWorkload w;
+  const auto rel = relative_performance(w, make_fugaku_linux_env(),
+                                        make_fugaku_mckernel_env(), job,
+                                        /*trials=*/5, Seed{6});
+  // Pure compute and tiny working set: the environments are near-equal.
+  EXPECT_NEAR(rel.mean_ratio, 1.0, 0.02);
+  EXPECT_GE(rel.stddev_ratio, 0.0);
+}
+
+// ---- SimNode ----
+
+TEST(SimNode, LinuxNodeOwnsEverything) {
+  const auto platform = hw::make_fugaku_testbed_platform();
+  auto node = SimNode::make_linux_node(
+      platform, linuxk::make_fugaku_linux_config(platform));
+  EXPECT_FALSE(node->is_multikernel());
+  EXPECT_EQ(&node->app_kernel(), &node->linux());
+  EXPECT_EQ(node->linux().owned_cores().count(), 50u);
+  EXPECT_EQ(node->lwk(), nullptr);
+}
+
+TEST(SimNode, MultiKernelNodeSplitsTheChip) {
+  const auto platform = hw::make_fugaku_testbed_platform();
+  auto node = SimNode::make_multikernel_node(
+      platform, linuxk::make_fugaku_linux_config(platform),
+      mck::McKernelConfig::defaults());
+  EXPECT_TRUE(node->is_multikernel());
+  EXPECT_EQ(&node->app_kernel(),
+            static_cast<os::NodeKernel*>(node->lwk()));
+  EXPECT_EQ(node->linux().owned_cores().count(), 2u);
+  EXPECT_EQ(node->lwk()->owned_cores().count(), 48u);
+  EXPECT_NE(node->offloader(), nullptr);
+  EXPECT_NE(node->ihk_manager(), nullptr);
+  EXPECT_EQ(node->ihk_manager()->instance_count(), 1u);
+}
+
+// ---- FWQ campaign ----
+
+TEST(FwqCampaign, QuietProfileGivesExactQuanta) {
+  FwqCampaignConfig cfg;
+  cfg.nodes = 8;
+  cfg.app_cores = 4;
+  cfg.duration_per_core = 10_s;
+  const auto r = run_fwq_campaign(noise::AnalyticNoiseProfile{}, cfg);
+  EXPECT_EQ(r.stats.t_min, cfg.work_quantum);
+  EXPECT_EQ(r.stats.t_max, cfg.work_quantum);
+  EXPECT_DOUBLE_EQ(r.stats.noise_rate, 0.0);
+  // 10 s / 6.5 ms = 1538 iterations per core.
+  EXPECT_EQ(r.total_iterations, 8u * 4u * 1538u);
+}
+
+TEST(FwqCampaign, NoiseRateTracksAnalyticExpectation) {
+  noise::AnalyticNoiseProfile p;
+  p.sources.push_back(noise::NoiseSourceSpec{
+      .name = "s",
+      .kind = noise::SourceKind::kHardware,
+      .scope = noise::SourceScope::kPerCore,
+      .mean_interval = 50_ms,
+      .duration = noise::DurationDist{.median = 65_us, .sigma = 0.0,
+                                      .min = SimTime::zero(),
+                                      .max = 65_us}});
+  FwqCampaignConfig cfg;
+  cfg.nodes = 32;
+  cfg.app_cores = 8;
+  cfg.duration_per_core = 60_s;
+  const auto r = run_fwq_campaign(p, cfg);
+  // Expected rate: (6.5ms/50ms) * 65us / 6.5ms = 0.0013.
+  EXPECT_NEAR(r.stats.noise_rate, 65e3 / 50e6, 2e-4);
+  EXPECT_EQ(r.stats.max_noise_length, 65_us);
+}
+
+TEST(FwqCampaign, WorstNodeListSortedAndBounded) {
+  const auto profile = noise::fugaku_linux_profile();
+  FwqCampaignConfig cfg;
+  cfg.nodes = 500;
+  cfg.app_cores = 48;
+  cfg.duration_per_core = 300_s;
+  cfg.worst_nodes_to_keep = 20;
+  const auto r = run_fwq_campaign(profile, cfg);
+  ASSERT_EQ(r.worst_node_max_us.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(r.worst_node_max_us.begin(),
+                             r.worst_node_max_us.end(),
+                             std::greater<double>()));
+  EXPECT_GE(r.worst_node_max_us.front(), r.stats.t_max.to_us() - 1.0);
+}
+
+TEST(FwqCampaign, DesTraceConversionAgrees) {
+  const auto platform = hw::make_fugaku_testbed_platform();
+  auto cfg = linuxk::make_fugaku_linux_config(platform);
+  cfg.profile = noise::strip_population_tails(cfg.profile);
+  auto node = SimNode::make_linux_node(platform, std::move(cfg));
+  noise::FwqConfig fwq;
+  fwq.iterations = 500;
+  const auto traces = noise::run_fwq(
+      node->app_kernel(), node->topology().application_cores(), fwq);
+  const auto r = fwq_result_from_traces(traces);
+  EXPECT_EQ(r.total_iterations, 500u * 48u);
+  EXPECT_EQ(r.cdf.total_count(), r.total_iterations);
+  EXPECT_GE(r.stats.t_max, r.stats.t_min);
+}
+
+}  // namespace
+}  // namespace hpcos::cluster

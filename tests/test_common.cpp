@@ -1,0 +1,250 @@
+// Unit tests: common utilities (SimTime, RNG, stats, histograms, tables,
+// parallel_for).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/histogram.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace hpcos {
+namespace {
+
+using namespace hpcos::literals;
+
+TEST(SimTime, UnitConstructorsAgree) {
+  EXPECT_EQ(SimTime::us(1).count_ns(), 1000);
+  EXPECT_EQ(SimTime::ms(1).count_ns(), 1'000'000);
+  EXPECT_EQ(SimTime::sec(1).count_ns(), 1'000'000'000);
+  EXPECT_EQ(SimTime::from_ms(6.5).count_ns(), 6'500'000);
+  EXPECT_EQ(SimTime::from_us(0.5).count_ns(), 500);
+  EXPECT_EQ(1_ms, SimTime::us(1000));
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = 5_us;
+  const SimTime b = 3_us;
+  EXPECT_EQ((a + b).count_ns(), 8000);
+  EXPECT_EQ((a - b).count_ns(), 2000);
+  EXPECT_EQ((a * 3).count_ns(), 15000);
+  EXPECT_EQ((a / 5).count_ns(), 1000);
+  EXPECT_DOUBLE_EQ(a.ratio(b), 5.0 / 3.0);
+  EXPECT_EQ(a.scaled(0.5).count_ns(), 2500);
+  EXPECT_LT(b, a);
+  EXPECT_TRUE((a - a).is_zero());
+  EXPECT_TRUE((b - a).is_negative());
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_EQ(SimTime::ns(12).to_string(), "12ns");
+  EXPECT_EQ(SimTime::us(3).to_string(), "3us");
+  EXPECT_EQ(SimTime::from_ms(6.5).to_string(), "6.5ms");
+  EXPECT_EQ(SimTime::sec(2).to_string(), "2s");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  RngStream a(Seed{42}, 7);
+  RngStream b(Seed{42}, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DistinctStreamsDiffer) {
+  RngStream a(Seed{42}, 0);
+  RngStream b(Seed{42}, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIndependentOfDrawCount) {
+  RngStream parent1(Seed{9}, 3);
+  RngStream parent2(Seed{9}, 3);
+  (void)parent2.next_u64();  // parent2 has drawn; parent1 has not
+  RngStream c1 = parent1.split(5);
+  RngStream c2 = parent2.split(5);
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  RngStream r(Seed{1}, 0);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  RngStream r(Seed{2}, 0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(r.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  RngStream r(Seed{3}, 0);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  RngStream r(Seed{4}, 0);
+  OnlineStats st;
+  for (int i = 0; i < 20000; ++i) st.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, PoissonSmallAndLargeMeans) {
+  RngStream r(Seed{5}, 0);
+  double sum_small = 0;
+  double sum_large = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum_small += double(r.poisson(0.5));
+  for (int i = 0; i < n; ++i) sum_large += double(r.poisson(200.0));
+  EXPECT_NEAR(sum_small / n, 0.5, 0.05);
+  EXPECT_NEAR(sum_large / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  RngStream r(Seed{6}, 0);
+  EXPECT_EQ(r.poisson(0.0), 0u);
+  EXPECT_EQ(r.poisson(-1.0), 0u);
+}
+
+TEST(OnlineStats, WelfordMatchesDirect) {
+  OnlineStats st;
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7};
+  for (double x : xs) st.add(x);
+  EXPECT_EQ(st.count(), xs.size());
+  EXPECT_DOUBLE_EQ(st.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(st.min(), 1.0);
+  EXPECT_DOUBLE_EQ(st.max(), 7.0);
+  // Sample variance of 1..7 = 28/6.
+  EXPECT_NEAR(st.variance(), 28.0 / 6.0, 1e-12);
+}
+
+TEST(OnlineStats, MergeEqualsSinglePass) {
+  OnlineStats a;
+  OnlineStats b;
+  OnlineStats whole;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i < 20 ? a : b).add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Summarize, Fields) {
+  std::vector<double> xs(100);
+  std::iota(xs.begin(), xs.end(), 1.0);
+  const SampleSummary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_GT(s.p999, s.p99);
+}
+
+TEST(LogHistogram, CountsAndQuantiles) {
+  LogHistogram h(1.0, 1000.0, 30);
+  for (int i = 1; i <= 100; ++i) h.add(double(i));
+  EXPECT_EQ(h.total_count(), 100u);
+  EXPECT_DOUBLE_EQ(h.observed_max(), 100.0);
+  // Median should land near 50 (within a bin width).
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 15.0);
+  EXPECT_LE(h.quantile(1.0), 100.0 + 1e-9);
+}
+
+TEST(LogHistogram, ClampsOutOfRange) {
+  LogHistogram h(10.0, 100.0, 4);
+  h.add(1.0);     // below range -> first bin
+  h.add(1e6);     // above range -> last bin
+  EXPECT_EQ(h.total_count(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  LogHistogram a(1.0, 100.0, 8);
+  LogHistogram b(1.0, 100.0, 8);
+  a.add(2.0);
+  b.add(50.0);
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.observed_max(), 50.0);
+  LogHistogram incompatible(1.0, 100.0, 9);
+  EXPECT_THROW(a.merge(incompatible), std::invalid_argument);
+}
+
+TEST(EmpiricalCdf, FractionsAndQuantiles) {
+  EmpiricalCdf c;
+  for (int i = 1; i <= 10; ++i) c.add(double(i));
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_at_or_below(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 10.0);
+  const auto pts = c.cdf_points(10);
+  EXPECT_EQ(pts.size(), 10u);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", TextTable::fmt(1.5)});
+  t.add_row({"b", TextTable::fmt_sci(0.0000045)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("4.50E-06"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_THROW(t.add_row({"a", "b", "c"}), std::invalid_argument);
+}
+
+TEST(ParallelFor, CoversAllIndicesOnce) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; }, 4);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, PropagatesException) {
+  EXPECT_THROW(
+      parallel_for(
+          100, [](std::size_t i) { if (i == 37) throw std::runtime_error("x"); },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace hpcos

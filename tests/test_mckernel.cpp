@@ -1,0 +1,279 @@
+// Unit + integration tests: McKernel — local syscall set, delegation via
+// the proxy process, PicoDriver, retained-memory pools, signals, and the
+// LWK's defining noise-freedom.
+#include <gtest/gtest.h>
+
+#include "kernel_test_util.h"
+#include "noise/fwq.h"
+#include "noise/metrics.h"
+
+namespace hpcos {
+namespace {
+
+using namespace hpcos::literals;
+using test::MultiKernelNode;
+using test::spawn_script;
+
+TEST(McKernelSyscalls, LocalSetMatchesPaper) {
+  using S = os::Syscall;
+  // §5: memory management, threads, scheduling, signals are local.
+  for (S s : {S::kMmap, S::kMunmap, S::kBrk, S::kFutex, S::kClone,
+              S::kGetTimeOfDay, S::kSchedYield, S::kNanosleep, S::kSignal,
+              S::kKill, S::kExitGroup}) {
+    EXPECT_TRUE(mck::McKernel::is_local_syscall(s)) << to_string(s);
+  }
+  // File I/O and driver calls are delegated to Linux.
+  for (S s : {S::kRead, S::kWrite, S::kOpen, S::kClose, S::kStat, S::kIoctl,
+              S::kPerfEventOpen}) {
+    EXPECT_FALSE(mck::McKernel::is_local_syscall(s)) << to_string(s);
+  }
+}
+
+TEST(McKernelOffload, ReadIsDelegatedThroughProxy) {
+  MultiKernelNode node;
+  os::SyscallResult observed;
+  int phase = 0;
+  spawn_script(*node.lwk, [&](os::ThreadContext& ctx) {
+    if (phase++ == 0) {
+      ctx.invoke(os::Syscall::kRead, os::SyscallArgs{.arg0 = 4096});
+      return true;
+    }
+    observed = ctx.last_syscall();
+    return false;
+  });
+  node.sim.run_until(1_s);
+  EXPECT_TRUE(observed.ok);
+  EXPECT_EQ(observed.path, os::SyscallResult::Path::kOffloaded);
+  EXPECT_EQ(node.lwk->offloaded_syscalls(), 1u);
+  EXPECT_EQ(node.offloader->requests(), 1u);
+  EXPECT_EQ(node.offloader->replies(), 1u);
+  EXPECT_EQ(node.offloader->proxy_count(), 1u);
+  // Round trip: marshal + 2x IKC + proxy wake + Linux service. Must be
+  // microseconds, not nanoseconds and not milliseconds.
+  EXPECT_GT(node.offloader->roundtrip_us().mean(), 1.0);
+  EXPECT_LT(node.offloader->roundtrip_us().mean(), 50.0);
+}
+
+TEST(McKernelOffload, OffloadCostExceedsLocalCost) {
+  MultiKernelNode node;
+  SimTime local_done, offload_done;
+  int phase1 = 0;
+  spawn_script(*node.lwk, [&](os::ThreadContext& ctx) {
+    if (phase1++ == 0) {
+      ctx.invoke(os::Syscall::kGetTimeOfDay);  // local on the LWK
+      return true;
+    }
+    local_done = ctx.now();
+    return false;
+  });
+  node.sim.run_until(1_s);
+  int phase2 = 0;
+  const SimTime t0 = node.sim.now();
+  spawn_script(*node.lwk, [&](os::ThreadContext& ctx) {
+    if (phase2++ == 0) {
+      ctx.invoke(os::Syscall::kStat);  // offloaded
+      return true;
+    }
+    offload_done = ctx.now() - t0;
+    return false;
+  });
+  node.sim.run_until(2_s);
+  EXPECT_GT(offload_done, local_done * 3);
+}
+
+TEST(McKernelOffload, ProxyLivesOnSystemCores) {
+  MultiKernelNode node;
+  int phase = 0;
+  spawn_script(*node.lwk, [&](os::ThreadContext& ctx) {
+    if (phase++ == 0) {
+      ctx.invoke(os::Syscall::kOpen);
+      return true;
+    }
+    return false;
+  });
+  node.sim.run_until(1_s);
+  ASSERT_EQ(node.offloader->proxy_count(), 1u);
+  // The proxy thread must have consumed kernel time on a system core, and
+  // none on any application core.
+  SimTime sys_kernel, app_kernel;
+  for (hw::CoreId c : node.topo.system_cores().to_vector()) {
+    sys_kernel += node.linux->accounting(c).kernel;
+  }
+  for (hw::CoreId c : node.topo.application_cores().to_vector()) {
+    app_kernel += node.linux->accounting(c).kernel;
+  }
+  EXPECT_GT(sys_kernel, SimTime::zero());
+  EXPECT_EQ(app_kernel, SimTime::zero());
+}
+
+TEST(McKernelOffload, ConcurrentRequestsAllComplete) {
+  MultiKernelNode node;
+  int completed = 0;
+  for (int i = 0; i < 4; ++i) {
+    int phase = 0;
+    spawn_script(
+        *node.lwk,
+        [&, phase](os::ThreadContext& ctx) mutable {
+          if (phase++ == 0) {
+            ctx.invoke(os::Syscall::kWrite, os::SyscallArgs{.arg0 = 128});
+            return true;
+          }
+          ++completed;
+          return false;
+        },
+        os::SpawnAttrs{.affinity = test::one_core(node.topo, 2 + i)});
+  }
+  node.sim.run_until(1_s);
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(node.offloader->replies(), 4u);
+  // Four distinct LWK processes -> four proxies.
+  EXPECT_EQ(node.offloader->proxy_count(), 4u);
+}
+
+TEST(McKernelPico, RegistrationUsesFastPathWhenEnabled) {
+  MultiKernelNode with_pico(
+      [](mck::McKernelConfig& c) { c.picodriver.enabled = true; });
+  os::SyscallResult res;
+  int phase = 0;
+  spawn_script(*with_pico.lwk, [&](os::ThreadContext& ctx) {
+    if (phase++ == 0) {
+      ctx.invoke(os::Syscall::kIoctl,
+                 os::SyscallArgs{.arg0 = 0, .arg1 = 64ull << 20,
+                                 .arg2 = mck::kTofuRegisterStag});
+      return true;
+    }
+    res = ctx.last_syscall();
+    return false;
+  });
+  with_pico.sim.run_until(1_s);
+  EXPECT_EQ(res.path, os::SyscallResult::Path::kFastDriver);
+  EXPECT_EQ(with_pico.lwk->picodriver().registrations(), 1u);
+  EXPECT_EQ(with_pico.lwk->offloaded_syscalls(), 0u);
+}
+
+TEST(McKernelPico, RegistrationOffloadsWithoutPicoDriver) {
+  MultiKernelNode node;  // picodriver disabled by default
+  os::SyscallResult res;
+  int phase = 0;
+  spawn_script(*node.lwk, [&](os::ThreadContext& ctx) {
+    if (phase++ == 0) {
+      ctx.invoke(os::Syscall::kIoctl,
+                 os::SyscallArgs{.arg0 = 0, .arg1 = 64ull << 20,
+                                 .arg2 = mck::kTofuRegisterStag});
+      return true;
+    }
+    res = ctx.last_syscall();
+    return false;
+  });
+  node.sim.run_until(1_s);
+  EXPECT_EQ(res.path, os::SyscallResult::Path::kOffloaded);
+}
+
+TEST(McKernelMemory, FreedMemoryIsRetainedAndReused) {
+  MultiKernelNode node;
+  const std::uint64_t len = 32ull << 20;
+  SimTime first_alloc, second_alloc;
+  std::uint64_t addr = 0;
+  int phase = 0;
+  SimTime mark;
+  os::Pid pid = os::kInvalidPid;
+  spawn_script(*node.lwk, [&](os::ThreadContext& ctx) {
+    switch (phase++) {
+      case 0:
+        pid = ctx.pid();
+        mark = ctx.now();
+        ctx.invoke(os::Syscall::kMmap, os::SyscallArgs{.arg0 = len});
+        return true;
+      case 1:
+        first_alloc = ctx.now() - mark;
+        addr = static_cast<std::uint64_t>(ctx.last_syscall().value);
+        ctx.invoke(os::Syscall::kMunmap,
+                   os::SyscallArgs{.arg0 = addr, .arg1 = len});
+        return true;
+      case 2:
+        mark = ctx.now();
+        ctx.invoke(os::Syscall::kMmap, os::SyscallArgs{.arg0 = len});
+        return true;
+      default:
+        second_alloc = ctx.now() - mark;
+        return false;
+    }
+  });
+  node.sim.run_until(1_s);
+  // After the munmap the bytes sit in the process pool...
+  // (they were consumed again by the second mmap, so the pool is empty at
+  // the end; the observable effect is the second allocation being served
+  // pre-populated, i.e. not slower than the first.)
+  EXPECT_LE(second_alloc, first_alloc);
+  EXPECT_EQ(node.lwk->pooled_bytes(pid), 0u);
+}
+
+TEST(McKernelMemory, PoolAccumulatesAcrossFrees) {
+  MultiKernelNode node;
+  const std::uint64_t len = 8ull << 20;
+  os::Pid pid = os::kInvalidPid;
+  int phase = 0;
+  std::uint64_t addr = 0;
+  spawn_script(*node.lwk, [&](os::ThreadContext& ctx) {
+    switch (phase++) {
+      case 0:
+        pid = ctx.pid();
+        ctx.invoke(os::Syscall::kMmap, os::SyscallArgs{.arg0 = len});
+        return true;
+      case 1:
+        addr = static_cast<std::uint64_t>(ctx.last_syscall().value);
+        ctx.invoke(os::Syscall::kMunmap,
+                   os::SyscallArgs{.arg0 = addr, .arg1 = len});
+        return true;
+      case 2:
+        // Keep the process alive so the pool can be observed: exit would
+        // return the retained memory to the LWK allocator.
+        ctx.sleep_for(10_ms);
+        return true;
+      default:
+        return false;
+    }
+  });
+  node.sim.run_until(5_ms);
+  EXPECT_EQ(node.lwk->pooled_bytes(pid), len);
+  node.sim.run_until(1_s);
+  EXPECT_EQ(node.lwk->pooled_bytes(pid), 0u);  // reclaimed at exit
+}
+
+TEST(McKernelSignals, SignalWakesBlockedThreadWithEintr) {
+  MultiKernelNode node;
+  os::SyscallResult res;
+  int phase = 0;
+  const auto tid = spawn_script(*node.lwk, [&](os::ThreadContext& ctx) {
+    if (phase++ == 0) {
+      ctx.invoke(os::Syscall::kFutex, os::SyscallArgs{.arg0 = 0});  // park
+      return true;
+    }
+    res = ctx.last_syscall();
+    return false;
+  });
+  node.sim.run_until(10_ms);
+  EXPECT_TRUE(node.lwk->thread_alive(tid));
+  node.lwk->send_signal(tid);
+  node.sim.run_until(20_ms);
+  EXPECT_FALSE(node.lwk->thread_alive(tid));
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.value, -4);  // EINTR
+}
+
+TEST(McKernelNoise, FwqIsNoiseFreeOnQuietLwk) {
+  MultiKernelNode node;
+  noise::FwqConfig cfg;
+  cfg.work_quantum = SimTime::from_ms(6.5);
+  cfg.iterations = 200;
+  const auto traces =
+      noise::run_fwq(*node.lwk, node.topo.application_cores(), cfg);
+  const auto stats = noise::compute_noise_stats(traces);
+  // Tick-less, daemon-free: every iteration is exactly the quantum.
+  EXPECT_EQ(stats.max_noise_length, SimTime::zero());
+  EXPECT_DOUBLE_EQ(stats.noise_rate, 0.0);
+  EXPECT_EQ(stats.t_min, SimTime::from_ms(6.5));
+}
+
+}  // namespace
+}  // namespace hpcos

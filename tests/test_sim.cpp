@@ -1,0 +1,126 @@
+// Unit tests: discrete-event simulator and trace buffer.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace hpcos::sim {
+namespace {
+
+using namespace hpcos::literals;
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(3_us, [&] { order.push_back(3); });
+  s.schedule_at(1_us, [&] { order.push_back(1); });
+  s.schedule_at(2_us, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 3_us);
+  EXPECT_EQ(s.events_executed(), 3u);
+}
+
+TEST(Simulator, SameTimestampFifoBySchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(1_us, [&] { order.push_back(1); });
+  s.schedule_at(1_us, [&] { order.push_back(2); });
+  s.schedule_at(1_us, [&] { order.push_back(3); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.schedule_at(1_us, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // double cancel reports false
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ScheduleFromWithinEvent) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.schedule_after(1_us, chain);
+  };
+  s.schedule_at(SimTime::zero(), chain);
+  s.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 4_us);
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastLastEvent) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(2_us, [&] { ++fired; });
+  s.schedule_at(10_us, [&] { ++fired; });
+  const std::size_t n = s.run_until(5_us);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 5_us);
+  EXPECT_TRUE(s.has_pending());
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator s;
+  s.schedule_at(5_us, [] {});
+  s.run_all();
+  EXPECT_THROW(s.schedule_at(1_us, [] {}), SimError);
+}
+
+TEST(Simulator, RunAllGuardStopsRunaway) {
+  Simulator s;
+  std::function<void()> forever = [&] { s.schedule_after(1_ns, forever); };
+  s.schedule_at(SimTime::zero(), forever);
+  const std::size_t n = s.run_all(100);
+  EXPECT_EQ(n, 100u);
+  EXPECT_TRUE(s.has_pending());
+}
+
+TEST(TraceBuffer, DisabledBufferCountsButStoresNothing) {
+  TraceBuffer t(0);
+  t.record(TraceRecord{.time = 1_us, .core = 0,
+                       .category = TraceCategory::kIrq,
+                       .duration = 1_us, .label = "x"});
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total_recorded(), 1u);
+}
+
+TEST(TraceBuffer, RingKeepsNewestAndOrders) {
+  TraceBuffer t(3);
+  for (int i = 0; i < 5; ++i) {
+    t.record(TraceRecord{.time = SimTime::us(i), .core = 0,
+                         .category = TraceCategory::kUser,
+                         .duration = SimTime::zero(),
+                         .label = std::to_string(i)});
+  }
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].label, "2");
+  EXPECT_EQ(snap[2].label, "4");
+  EXPECT_EQ(t.dropped(), 2u);
+}
+
+TEST(TraceBuffer, FilterAndDurationAccounting) {
+  TraceBuffer t(16);
+  t.record(TraceRecord{.time = 1_us, .core = 2,
+                       .category = TraceCategory::kKworker,
+                       .duration = 5_us, .label = "kw"});
+  t.record(TraceRecord{.time = 2_us, .core = 3,
+                       .category = TraceCategory::kKworker,
+                       .duration = 7_us, .label = "kw"});
+  t.record(TraceRecord{.time = 3_us, .core = 2,
+                       .category = TraceCategory::kDaemon,
+                       .duration = 1_us, .label = "d"});
+  EXPECT_EQ(t.filter(TraceCategory::kKworker).size(), 2u);
+  EXPECT_EQ(t.total_duration(TraceCategory::kKworker), 12_us);
+  EXPECT_EQ(t.total_duration(TraceCategory::kKworker, 2), 5_us);
+}
+
+}  // namespace
+}  // namespace hpcos::sim
