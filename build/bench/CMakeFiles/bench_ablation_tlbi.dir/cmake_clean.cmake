@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tlbi.dir/bench_ablation_tlbi.cpp.o"
+  "CMakeFiles/bench_ablation_tlbi.dir/bench_ablation_tlbi.cpp.o.d"
+  "bench_ablation_tlbi"
+  "bench_ablation_tlbi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tlbi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_coral_ofp.dir/bench_fig5_coral_ofp.cpp.o"
+  "CMakeFiles/bench_fig5_coral_ofp.dir/bench_fig5_coral_ofp.cpp.o.d"
+  "bench_fig5_coral_ofp"
+  "bench_fig5_coral_ofp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_coral_ofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

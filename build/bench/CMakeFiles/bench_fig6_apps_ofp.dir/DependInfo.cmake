@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_apps_ofp.cpp" "bench/CMakeFiles/bench_fig6_apps_ofp.dir/bench_fig6_apps_ofp.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_apps_ofp.dir/bench_fig6_apps_ofp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/hpcos_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcos_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxk/CMakeFiles/hpcos_linuxk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mckernel/CMakeFiles/hpcos_mckernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ihk/CMakeFiles/hpcos_ihk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpcos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/hpcos_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/hpcos_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_apps_fugaku.dir/bench_fig7_apps_fugaku.cpp.o"
+  "CMakeFiles/bench_fig7_apps_fugaku.dir/bench_fig7_apps_fugaku.cpp.o.d"
+  "bench_fig7_apps_fugaku"
+  "bench_fig7_apps_fugaku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_apps_fugaku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

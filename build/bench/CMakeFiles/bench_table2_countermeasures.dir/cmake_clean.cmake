@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_countermeasures.dir/bench_table2_countermeasures.cpp.o"
+  "CMakeFiles/bench_table2_countermeasures.dir/bench_table2_countermeasures.cpp.o.d"
+  "bench_table2_countermeasures"
+  "bench_table2_countermeasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

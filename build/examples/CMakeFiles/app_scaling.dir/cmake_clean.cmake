@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_scaling.dir/app_scaling.cpp.o"
+  "CMakeFiles/app_scaling.dir/app_scaling.cpp.o.d"
+  "app_scaling"
+  "app_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multikernel_tour.dir/multikernel_tour.cpp.o"
+  "CMakeFiles/multikernel_tour.dir/multikernel_tour.cpp.o.d"
+  "multikernel_tour"
+  "multikernel_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multikernel_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_audit.dir/noise_audit.cpp.o"
+  "CMakeFiles/noise_audit.dir/noise_audit.cpp.o.d"
+  "noise_audit"
+  "noise_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_apps.dir/amg.cpp.o"
+  "CMakeFiles/hpcos_apps.dir/amg.cpp.o.d"
+  "CMakeFiles/hpcos_apps.dir/gamera.cpp.o"
+  "CMakeFiles/hpcos_apps.dir/gamera.cpp.o.d"
+  "CMakeFiles/hpcos_apps.dir/geofem.cpp.o"
+  "CMakeFiles/hpcos_apps.dir/geofem.cpp.o.d"
+  "CMakeFiles/hpcos_apps.dir/lqcd.cpp.o"
+  "CMakeFiles/hpcos_apps.dir/lqcd.cpp.o.d"
+  "CMakeFiles/hpcos_apps.dir/lulesh.cpp.o"
+  "CMakeFiles/hpcos_apps.dir/lulesh.cpp.o.d"
+  "CMakeFiles/hpcos_apps.dir/milc.cpp.o"
+  "CMakeFiles/hpcos_apps.dir/milc.cpp.o.d"
+  "CMakeFiles/hpcos_apps.dir/registry.cpp.o"
+  "CMakeFiles/hpcos_apps.dir/registry.cpp.o.d"
+  "libhpcos_apps.a"
+  "libhpcos_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

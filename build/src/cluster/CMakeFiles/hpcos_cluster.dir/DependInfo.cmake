@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/bsp.cpp" "src/cluster/CMakeFiles/hpcos_cluster.dir/bsp.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcos_cluster.dir/bsp.cpp.o.d"
+  "/root/repo/src/cluster/des_cluster.cpp" "src/cluster/CMakeFiles/hpcos_cluster.dir/des_cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcos_cluster.dir/des_cluster.cpp.o.d"
+  "/root/repo/src/cluster/fwq_campaign.cpp" "src/cluster/CMakeFiles/hpcos_cluster.dir/fwq_campaign.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcos_cluster.dir/fwq_campaign.cpp.o.d"
+  "/root/repo/src/cluster/job_launcher.cpp" "src/cluster/CMakeFiles/hpcos_cluster.dir/job_launcher.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcos_cluster.dir/job_launcher.cpp.o.d"
+  "/root/repo/src/cluster/machine_noise.cpp" "src/cluster/CMakeFiles/hpcos_cluster.dir/machine_noise.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcos_cluster.dir/machine_noise.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/hpcos_cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcos_cluster.dir/node.cpp.o.d"
+  "/root/repo/src/cluster/osenv.cpp" "src/cluster/CMakeFiles/hpcos_cluster.dir/osenv.cpp.o" "gcc" "src/cluster/CMakeFiles/hpcos_cluster.dir/osenv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/hpcos_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/hpcos_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxk/CMakeFiles/hpcos_linuxk.dir/DependInfo.cmake"
+  "/root/repo/build/src/ihk/CMakeFiles/hpcos_ihk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mckernel/CMakeFiles/hpcos_mckernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpcos_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

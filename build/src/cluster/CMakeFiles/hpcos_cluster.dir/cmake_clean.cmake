@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_cluster.dir/bsp.cpp.o"
+  "CMakeFiles/hpcos_cluster.dir/bsp.cpp.o.d"
+  "CMakeFiles/hpcos_cluster.dir/des_cluster.cpp.o"
+  "CMakeFiles/hpcos_cluster.dir/des_cluster.cpp.o.d"
+  "CMakeFiles/hpcos_cluster.dir/fwq_campaign.cpp.o"
+  "CMakeFiles/hpcos_cluster.dir/fwq_campaign.cpp.o.d"
+  "CMakeFiles/hpcos_cluster.dir/job_launcher.cpp.o"
+  "CMakeFiles/hpcos_cluster.dir/job_launcher.cpp.o.d"
+  "CMakeFiles/hpcos_cluster.dir/machine_noise.cpp.o"
+  "CMakeFiles/hpcos_cluster.dir/machine_noise.cpp.o.d"
+  "CMakeFiles/hpcos_cluster.dir/node.cpp.o"
+  "CMakeFiles/hpcos_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/hpcos_cluster.dir/osenv.cpp.o"
+  "CMakeFiles/hpcos_cluster.dir/osenv.cpp.o.d"
+  "libhpcos_cluster.a"
+  "libhpcos_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

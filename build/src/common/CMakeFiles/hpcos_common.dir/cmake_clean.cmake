@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/hpcos_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/hpcos_common.dir/histogram.cpp.o"
+  "CMakeFiles/hpcos_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/hpcos_common.dir/parallel.cpp.o"
+  "CMakeFiles/hpcos_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/hpcos_common.dir/rng.cpp.o"
+  "CMakeFiles/hpcos_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hpcos_common.dir/sim_time.cpp.o"
+  "CMakeFiles/hpcos_common.dir/sim_time.cpp.o.d"
+  "CMakeFiles/hpcos_common.dir/stats.cpp.o"
+  "CMakeFiles/hpcos_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hpcos_common.dir/table.cpp.o"
+  "CMakeFiles/hpcos_common.dir/table.cpp.o.d"
+  "libhpcos_common.a"
+  "libhpcos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

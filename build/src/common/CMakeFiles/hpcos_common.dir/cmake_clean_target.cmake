@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhpcos_common.a"
+)

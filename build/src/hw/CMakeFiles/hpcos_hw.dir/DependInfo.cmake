@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cache.cpp" "src/hw/CMakeFiles/hpcos_hw.dir/cache.cpp.o" "gcc" "src/hw/CMakeFiles/hpcos_hw.dir/cache.cpp.o.d"
+  "/root/repo/src/hw/cpuset.cpp" "src/hw/CMakeFiles/hpcos_hw.dir/cpuset.cpp.o" "gcc" "src/hw/CMakeFiles/hpcos_hw.dir/cpuset.cpp.o.d"
+  "/root/repo/src/hw/hwbarrier.cpp" "src/hw/CMakeFiles/hpcos_hw.dir/hwbarrier.cpp.o" "gcc" "src/hw/CMakeFiles/hpcos_hw.dir/hwbarrier.cpp.o.d"
+  "/root/repo/src/hw/memory.cpp" "src/hw/CMakeFiles/hpcos_hw.dir/memory.cpp.o" "gcc" "src/hw/CMakeFiles/hpcos_hw.dir/memory.cpp.o.d"
+  "/root/repo/src/hw/platform.cpp" "src/hw/CMakeFiles/hpcos_hw.dir/platform.cpp.o" "gcc" "src/hw/CMakeFiles/hpcos_hw.dir/platform.cpp.o.d"
+  "/root/repo/src/hw/pmu.cpp" "src/hw/CMakeFiles/hpcos_hw.dir/pmu.cpp.o" "gcc" "src/hw/CMakeFiles/hpcos_hw.dir/pmu.cpp.o.d"
+  "/root/repo/src/hw/tlb.cpp" "src/hw/CMakeFiles/hpcos_hw.dir/tlb.cpp.o" "gcc" "src/hw/CMakeFiles/hpcos_hw.dir/tlb.cpp.o.d"
+  "/root/repo/src/hw/topology.cpp" "src/hw/CMakeFiles/hpcos_hw.dir/topology.cpp.o" "gcc" "src/hw/CMakeFiles/hpcos_hw.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_hw.dir/cache.cpp.o"
+  "CMakeFiles/hpcos_hw.dir/cache.cpp.o.d"
+  "CMakeFiles/hpcos_hw.dir/cpuset.cpp.o"
+  "CMakeFiles/hpcos_hw.dir/cpuset.cpp.o.d"
+  "CMakeFiles/hpcos_hw.dir/hwbarrier.cpp.o"
+  "CMakeFiles/hpcos_hw.dir/hwbarrier.cpp.o.d"
+  "CMakeFiles/hpcos_hw.dir/memory.cpp.o"
+  "CMakeFiles/hpcos_hw.dir/memory.cpp.o.d"
+  "CMakeFiles/hpcos_hw.dir/platform.cpp.o"
+  "CMakeFiles/hpcos_hw.dir/platform.cpp.o.d"
+  "CMakeFiles/hpcos_hw.dir/pmu.cpp.o"
+  "CMakeFiles/hpcos_hw.dir/pmu.cpp.o.d"
+  "CMakeFiles/hpcos_hw.dir/tlb.cpp.o"
+  "CMakeFiles/hpcos_hw.dir/tlb.cpp.o.d"
+  "CMakeFiles/hpcos_hw.dir/topology.cpp.o"
+  "CMakeFiles/hpcos_hw.dir/topology.cpp.o.d"
+  "libhpcos_hw.a"
+  "libhpcos_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpcos_hw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_ihk.dir/ihk.cpp.o"
+  "CMakeFiles/hpcos_ihk.dir/ihk.cpp.o.d"
+  "CMakeFiles/hpcos_ihk.dir/ikc.cpp.o"
+  "CMakeFiles/hpcos_ihk.dir/ikc.cpp.o.d"
+  "CMakeFiles/hpcos_ihk.dir/resource.cpp.o"
+  "CMakeFiles/hpcos_ihk.dir/resource.cpp.o.d"
+  "libhpcos_ihk.a"
+  "libhpcos_ihk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_ihk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linuxk/blkmq.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/blkmq.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/blkmq.cpp.o.d"
+  "/root/repo/src/linuxk/cfs_scheduler.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/cfs_scheduler.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/cfs_scheduler.cpp.o.d"
+  "/root/repo/src/linuxk/cgroup.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/cgroup.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/cgroup.cpp.o.d"
+  "/root/repo/src/linuxk/config.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/config.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/config.cpp.o.d"
+  "/root/repo/src/linuxk/hugetlbfs.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/hugetlbfs.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/hugetlbfs.cpp.o.d"
+  "/root/repo/src/linuxk/interference.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/interference.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/interference.cpp.o.d"
+  "/root/repo/src/linuxk/irq.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/irq.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/irq.cpp.o.d"
+  "/root/repo/src/linuxk/linux_kernel.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/linux_kernel.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/linux_kernel.cpp.o.d"
+  "/root/repo/src/linuxk/vnuma.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/vnuma.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/vnuma.cpp.o.d"
+  "/root/repo/src/linuxk/workqueue.cpp" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/workqueue.cpp.o" "gcc" "src/linuxk/CMakeFiles/hpcos_linuxk.dir/workqueue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/hpcos_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/hpcos_noise.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_linuxk.dir/blkmq.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/blkmq.cpp.o.d"
+  "CMakeFiles/hpcos_linuxk.dir/cfs_scheduler.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/cfs_scheduler.cpp.o.d"
+  "CMakeFiles/hpcos_linuxk.dir/cgroup.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/cgroup.cpp.o.d"
+  "CMakeFiles/hpcos_linuxk.dir/config.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/config.cpp.o.d"
+  "CMakeFiles/hpcos_linuxk.dir/hugetlbfs.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/hugetlbfs.cpp.o.d"
+  "CMakeFiles/hpcos_linuxk.dir/interference.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/interference.cpp.o.d"
+  "CMakeFiles/hpcos_linuxk.dir/irq.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/irq.cpp.o.d"
+  "CMakeFiles/hpcos_linuxk.dir/linux_kernel.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/linux_kernel.cpp.o.d"
+  "CMakeFiles/hpcos_linuxk.dir/vnuma.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/vnuma.cpp.o.d"
+  "CMakeFiles/hpcos_linuxk.dir/workqueue.cpp.o"
+  "CMakeFiles/hpcos_linuxk.dir/workqueue.cpp.o.d"
+  "libhpcos_linuxk.a"
+  "libhpcos_linuxk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_linuxk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

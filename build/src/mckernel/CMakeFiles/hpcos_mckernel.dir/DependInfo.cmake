@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mckernel/lwk_scheduler.cpp" "src/mckernel/CMakeFiles/hpcos_mckernel.dir/lwk_scheduler.cpp.o" "gcc" "src/mckernel/CMakeFiles/hpcos_mckernel.dir/lwk_scheduler.cpp.o.d"
+  "/root/repo/src/mckernel/mckernel.cpp" "src/mckernel/CMakeFiles/hpcos_mckernel.dir/mckernel.cpp.o" "gcc" "src/mckernel/CMakeFiles/hpcos_mckernel.dir/mckernel.cpp.o.d"
+  "/root/repo/src/mckernel/offload.cpp" "src/mckernel/CMakeFiles/hpcos_mckernel.dir/offload.cpp.o" "gcc" "src/mckernel/CMakeFiles/hpcos_mckernel.dir/offload.cpp.o.d"
+  "/root/repo/src/mckernel/picodriver.cpp" "src/mckernel/CMakeFiles/hpcos_mckernel.dir/picodriver.cpp.o" "gcc" "src/mckernel/CMakeFiles/hpcos_mckernel.dir/picodriver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/hpcos_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/hpcos_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/ihk/CMakeFiles/hpcos_ihk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_mckernel.dir/lwk_scheduler.cpp.o"
+  "CMakeFiles/hpcos_mckernel.dir/lwk_scheduler.cpp.o.d"
+  "CMakeFiles/hpcos_mckernel.dir/mckernel.cpp.o"
+  "CMakeFiles/hpcos_mckernel.dir/mckernel.cpp.o.d"
+  "CMakeFiles/hpcos_mckernel.dir/offload.cpp.o"
+  "CMakeFiles/hpcos_mckernel.dir/offload.cpp.o.d"
+  "CMakeFiles/hpcos_mckernel.dir/picodriver.cpp.o"
+  "CMakeFiles/hpcos_mckernel.dir/picodriver.cpp.o.d"
+  "libhpcos_mckernel.a"
+  "libhpcos_mckernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_mckernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

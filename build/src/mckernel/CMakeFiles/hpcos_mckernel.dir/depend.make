@@ -1,0 +1,2 @@
+# Empty dependencies file for hpcos_mckernel.
+# This may be replaced when dependencies are built.

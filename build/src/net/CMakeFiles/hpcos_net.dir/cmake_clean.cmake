@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_net.dir/collectives.cpp.o"
+  "CMakeFiles/hpcos_net.dir/collectives.cpp.o.d"
+  "CMakeFiles/hpcos_net.dir/fabric.cpp.o"
+  "CMakeFiles/hpcos_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/hpcos_net.dir/rdma.cpp.o"
+  "CMakeFiles/hpcos_net.dir/rdma.cpp.o.d"
+  "libhpcos_net.a"
+  "libhpcos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

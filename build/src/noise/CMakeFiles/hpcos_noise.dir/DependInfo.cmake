@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noise/analytic.cpp" "src/noise/CMakeFiles/hpcos_noise.dir/analytic.cpp.o" "gcc" "src/noise/CMakeFiles/hpcos_noise.dir/analytic.cpp.o.d"
+  "/root/repo/src/noise/attribution.cpp" "src/noise/CMakeFiles/hpcos_noise.dir/attribution.cpp.o" "gcc" "src/noise/CMakeFiles/hpcos_noise.dir/attribution.cpp.o.d"
+  "/root/repo/src/noise/background.cpp" "src/noise/CMakeFiles/hpcos_noise.dir/background.cpp.o" "gcc" "src/noise/CMakeFiles/hpcos_noise.dir/background.cpp.o.d"
+  "/root/repo/src/noise/ftq.cpp" "src/noise/CMakeFiles/hpcos_noise.dir/ftq.cpp.o" "gcc" "src/noise/CMakeFiles/hpcos_noise.dir/ftq.cpp.o.d"
+  "/root/repo/src/noise/fwq.cpp" "src/noise/CMakeFiles/hpcos_noise.dir/fwq.cpp.o" "gcc" "src/noise/CMakeFiles/hpcos_noise.dir/fwq.cpp.o.d"
+  "/root/repo/src/noise/metrics.cpp" "src/noise/CMakeFiles/hpcos_noise.dir/metrics.cpp.o" "gcc" "src/noise/CMakeFiles/hpcos_noise.dir/metrics.cpp.o.d"
+  "/root/repo/src/noise/profiles.cpp" "src/noise/CMakeFiles/hpcos_noise.dir/profiles.cpp.o" "gcc" "src/noise/CMakeFiles/hpcos_noise.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/hpcos_oskernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

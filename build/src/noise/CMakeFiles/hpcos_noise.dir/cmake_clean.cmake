@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_noise.dir/analytic.cpp.o"
+  "CMakeFiles/hpcos_noise.dir/analytic.cpp.o.d"
+  "CMakeFiles/hpcos_noise.dir/attribution.cpp.o"
+  "CMakeFiles/hpcos_noise.dir/attribution.cpp.o.d"
+  "CMakeFiles/hpcos_noise.dir/background.cpp.o"
+  "CMakeFiles/hpcos_noise.dir/background.cpp.o.d"
+  "CMakeFiles/hpcos_noise.dir/ftq.cpp.o"
+  "CMakeFiles/hpcos_noise.dir/ftq.cpp.o.d"
+  "CMakeFiles/hpcos_noise.dir/fwq.cpp.o"
+  "CMakeFiles/hpcos_noise.dir/fwq.cpp.o.d"
+  "CMakeFiles/hpcos_noise.dir/metrics.cpp.o"
+  "CMakeFiles/hpcos_noise.dir/metrics.cpp.o.d"
+  "CMakeFiles/hpcos_noise.dir/profiles.cpp.o"
+  "CMakeFiles/hpcos_noise.dir/profiles.cpp.o.d"
+  "libhpcos_noise.a"
+  "libhpcos_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oskernel/address_space.cpp" "src/oskernel/CMakeFiles/hpcos_oskernel.dir/address_space.cpp.o" "gcc" "src/oskernel/CMakeFiles/hpcos_oskernel.dir/address_space.cpp.o.d"
+  "/root/repo/src/oskernel/kernel.cpp" "src/oskernel/CMakeFiles/hpcos_oskernel.dir/kernel.cpp.o" "gcc" "src/oskernel/CMakeFiles/hpcos_oskernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/oskernel/stall_bus.cpp" "src/oskernel/CMakeFiles/hpcos_oskernel.dir/stall_bus.cpp.o" "gcc" "src/oskernel/CMakeFiles/hpcos_oskernel.dir/stall_bus.cpp.o.d"
+  "/root/repo/src/oskernel/syscall.cpp" "src/oskernel/CMakeFiles/hpcos_oskernel.dir/syscall.cpp.o" "gcc" "src/oskernel/CMakeFiles/hpcos_oskernel.dir/syscall.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

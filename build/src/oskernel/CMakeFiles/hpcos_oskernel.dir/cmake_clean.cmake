@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_oskernel.dir/address_space.cpp.o"
+  "CMakeFiles/hpcos_oskernel.dir/address_space.cpp.o.d"
+  "CMakeFiles/hpcos_oskernel.dir/kernel.cpp.o"
+  "CMakeFiles/hpcos_oskernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/hpcos_oskernel.dir/stall_bus.cpp.o"
+  "CMakeFiles/hpcos_oskernel.dir/stall_bus.cpp.o.d"
+  "CMakeFiles/hpcos_oskernel.dir/syscall.cpp.o"
+  "CMakeFiles/hpcos_oskernel.dir/syscall.cpp.o.d"
+  "libhpcos_oskernel.a"
+  "libhpcos_oskernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_oskernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcos_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hpcos_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hpcos_sim.dir/trace.cpp.o"
+  "CMakeFiles/hpcos_sim.dir/trace.cpp.o.d"
+  "libhpcos_sim.a"
+  "libhpcos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_des_cluster.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_des_cluster.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_des_cluster.cpp.o.d"
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_hw.cpp.o.d"
+  "/root/repo/tests/test_ihk.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_ihk.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_ihk.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linuxk.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_linuxk.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_linuxk.cpp.o.d"
+  "/root/repo/tests/test_linuxk_subsys.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_linuxk_subsys.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_linuxk_subsys.cpp.o.d"
+  "/root/repo/tests/test_mckernel.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_mckernel.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_mckernel.cpp.o.d"
+  "/root/repo/tests/test_more_coverage.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_more_coverage.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_more_coverage.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_noise.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_noise.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_noise.cpp.o.d"
+  "/root/repo/tests/test_oskernel.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_oskernel.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_oskernel.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_tools.cpp" "tests/CMakeFiles/hpcos_tests.dir/test_tools.cpp.o" "gcc" "tests/CMakeFiles/hpcos_tests.dir/test_tools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/hpcos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskernel/CMakeFiles/hpcos_oskernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/hpcos_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxk/CMakeFiles/hpcos_linuxk.dir/DependInfo.cmake"
+  "/root/repo/build/src/ihk/CMakeFiles/hpcos_ihk.dir/DependInfo.cmake"
+  "/root/repo/build/src/mckernel/CMakeFiles/hpcos_mckernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hpcos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hpcos_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hpcos_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
