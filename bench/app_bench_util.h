@@ -8,10 +8,12 @@
 
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/registry.h"
 #include "cluster/bsp.h"
+#include "common/parallel.h"
 #include "common/table.h"
 
 namespace hpcos::bench {
@@ -39,6 +41,43 @@ inline FigureRow run_point(const std::string& workload,
                    .mckernel_relative = rel.mean_ratio,
                    .stddev = rel.stddev_ratio,
                    .paper_value = paper_value};
+}
+
+// One (workload, node count) measurement with the approximate value read
+// off the paper's figure for the comparison column.
+struct PlanPoint {
+  std::int64_t nodes = 0;
+  double paper = 0.0;
+};
+using FigurePlan =
+    std::vector<std::pair<std::string, std::vector<PlanPoint>>>;
+
+// Run every (workload, nodes) point of a figure across the host worker
+// pool. Points are independent (per-point workload instance and paired
+// seeded engines) and each writes its own row slot, so row order — and
+// every number in it — is identical to the serial run.
+inline std::vector<FigureRow> run_plan(const FigurePlan& plan,
+                                       apps::PlatformKind platform,
+                                       const cluster::OsEnvironment& linux_env,
+                                       const cluster::OsEnvironment& mck_env,
+                                       std::size_t threads = 0) {
+  struct FlatPoint {
+    const std::string* workload;
+    PlanPoint point;
+  };
+  std::vector<FlatPoint> flat;
+  for (const auto& [name, points] : plan) {
+    for (const auto& p : points) flat.push_back({&name, p});
+  }
+  std::vector<FigureRow> rows(flat.size());
+  parallel_for(
+      flat.size(),
+      [&](std::size_t i) {
+        rows[i] = run_point(*flat[i].workload, platform, linux_env, mck_env,
+                            flat[i].point.nodes, flat[i].point.paper);
+      },
+      threads);
+  return rows;
 }
 
 inline void print_figure(const std::string& title,

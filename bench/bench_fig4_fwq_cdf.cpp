@@ -12,10 +12,12 @@
 // Expected shape (§6.3): OFP-Linux tail reaches ~24 ms; OFP-McKernel stays
 // under ~7 ms; Fugaku-Linux at full scale reaches ~10 ms; Linux on 24
 // racks is only slightly worse than McKernel.
+#include <chrono>
 #include <iostream>
 
 #include "cluster/fwq_campaign.h"
 #include "common/ascii_plot.h"
+#include "common/parallel.h"
 #include "common/table.h"
 #include "noise/profiles.h"
 
@@ -30,6 +32,21 @@ struct Config {
   int app_cores;
   double paper_tail_ms;  // approximate worst iteration from the figure
 };
+
+bool identical_results(const cluster::FwqCampaignResult& a,
+                       const cluster::FwqCampaignResult& b) {
+  if (a.total_iterations != b.total_iterations ||
+      a.stats.t_min != b.stats.t_min || a.stats.t_max != b.stats.t_max ||
+      a.stats.noise_rate != b.stats.noise_rate ||
+      a.worst_node_max_us != b.worst_node_max_us ||
+      a.cdf.total_count() != b.cdf.total_count()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.cdf.num_bins(); ++i) {
+    if (a.cdf.bin_count(i) != b.cdf.bin_count(i)) return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -117,5 +134,36 @@ int main() {
                TextTable::fmt(full.worst_node_max_us[i] / 1000.0, 2)});
   }
   w.print(std::cout);
+
+  // Host parallelism check: the 1,024-node OFP/Linux campaign serial vs
+  // the worker pool. Results must be bit-identical (DESIGN §6); the
+  // speedup tracks the host's core count.
+  {
+    print_banner(std::cout,
+                 "Host parallelism: serial vs worker pool (1,024 nodes)");
+    cluster::FwqCampaignConfig pcfg;
+    pcfg.nodes = 1024;
+    pcfg.app_cores = 256;
+    pcfg.max_materialized_hits = 2048;
+    pcfg.seed = Seed{20211115};
+    auto timed_run = [&](std::size_t threads) {
+      pcfg.threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      auto r = cluster::run_fwq_campaign(noise::ofp_linux_profile(), pcfg);
+      const auto stop = std::chrono::steady_clock::now();
+      return std::make_pair(
+          std::move(r),
+          std::chrono::duration<double>(stop - start).count());
+    };
+    const auto [serial, serial_s] = timed_run(1);
+    const auto [pooled, pooled_s] = timed_run(default_parallelism());
+    std::cout << "threads=1: " << TextTable::fmt(serial_s, 3)
+              << " s;  threads=" << default_parallelism() << ": "
+              << TextTable::fmt(pooled_s, 3) << " s;  speedup "
+              << TextTable::fmt(serial_s / pooled_s, 2) << "x;  results "
+              << (identical_results(serial, pooled) ? "bit-identical"
+                                                    : "DIFFER (BUG)")
+              << "\n";
+  }
   return 0;
 }

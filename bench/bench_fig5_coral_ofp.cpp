@@ -8,16 +8,11 @@
 
 int main() {
   using namespace hpcos;
-  using bench::run_point;
 
   const auto linux_env = cluster::make_ofp_linux_env();
   const auto mck_env = cluster::make_ofp_mckernel_env();
 
-  struct Point {
-    std::int64_t nodes;
-    double paper;
-  };
-  const std::vector<std::pair<std::string, std::vector<Point>>> plan = {
+  const bench::FigurePlan plan = {
       {"AMG2013",
        {{16, 1.04}, {64, 1.05}, {256, 1.07}, {1024, 1.10},
         {4096, 1.15}, {8192, 1.18}}},
@@ -29,13 +24,8 @@ int main() {
         {4096, 1.85}, {8192, 1.95}}},
   };
 
-  std::vector<bench::FigureRow> rows;
-  for (const auto& [name, points] : plan) {
-    for (const auto& p : points) {
-      rows.push_back(run_point(name, apps::PlatformKind::kOfp, linux_env,
-                               mck_env, p.nodes, p.paper));
-    }
-  }
+  const auto rows =
+      bench::run_plan(plan, apps::PlatformKind::kOfp, linux_env, mck_env);
   bench::print_figure(
       "Figure 5: CORAL applications on Oakforest-PACS (Linux = 1.0)", rows);
   return 0;

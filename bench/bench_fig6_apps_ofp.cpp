@@ -9,29 +9,19 @@
 
 int main() {
   using namespace hpcos;
-  using bench::run_point;
 
   const auto linux_env = cluster::make_ofp_linux_env();
   const auto mck_env = cluster::make_ofp_mckernel_env();
 
-  struct Point {
-    std::int64_t nodes;
-    double paper;
-  };
-  const std::vector<std::pair<std::string, std::vector<Point>>> plan = {
+  const bench::FigurePlan plan = {
       {"LQCD", {{256, 1.08}, {512, 1.12}, {1024, 1.18}, {2048, 1.25}}},
       {"GeoFEM",
        {{512, 1.01}, {1024, 1.02}, {2048, 1.03}, {4096, 1.04}, {8192, 1.06}}},
       {"GAMERA", {{512, 1.08}, {1024, 1.12}, {2048, 1.18}, {4096, 1.26}}},
   };
 
-  std::vector<bench::FigureRow> rows;
-  for (const auto& [name, points] : plan) {
-    for (const auto& p : points) {
-      rows.push_back(run_point(name, apps::PlatformKind::kOfp, linux_env,
-                               mck_env, p.nodes, p.paper));
-    }
-  }
+  const auto rows =
+      bench::run_plan(plan, apps::PlatformKind::kOfp, linux_env, mck_env);
   bench::print_figure(
       "Figure 6: LQCD / GeoFEM / GAMERA on Oakforest-PACS (Linux = 1.0)",
       rows);

@@ -8,30 +8,20 @@
 
 int main() {
   using namespace hpcos;
-  using bench::run_point;
 
   const auto linux_env = cluster::make_fugaku_linux_env();
   const auto mck_env = cluster::make_fugaku_mckernel_env();
 
-  struct Point {
-    std::int64_t nodes;
-    double paper;
-  };
-  const std::vector<std::pair<std::string, std::vector<Point>>> plan = {
+  const bench::FigurePlan plan = {
       {"LQCD", {{128, 1.00}, {512, 1.00}, {2048, 1.00}, {8192, 1.01}}},
       {"GeoFEM", {{128, 1.03}, {512, 1.03}, {2048, 1.03}, {8192, 1.03}}},
       {"GAMERA", {{128, 1.06}, {512, 1.10}, {2048, 1.18}, {8192, 1.29}}},
   };
 
-  std::vector<bench::FigureRow> rows;
+  const auto rows =
+      bench::run_plan(plan, apps::PlatformKind::kFugaku, linux_env, mck_env);
   double sum = 0.0;
-  for (const auto& [name, points] : plan) {
-    for (const auto& p : points) {
-      rows.push_back(run_point(name, apps::PlatformKind::kFugaku, linux_env,
-                               mck_env, p.nodes, p.paper));
-      sum += rows.back().mckernel_relative;
-    }
-  }
+  for (const auto& r : rows) sum += r.mckernel_relative;
   bench::print_figure(
       "Figure 7: LQCD / GeoFEM / GAMERA on Fugaku (Linux = 1.0)", rows);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stats.h"
 #include "noise/metrics.h"
 
@@ -170,20 +171,25 @@ double BspEngine::analytic_noise_delay(SimTime sync_interval) const {
 RelativeResult relative_performance(const Workload& workload,
                                     const OsEnvironment& baseline,
                                     const OsEnvironment& candidate,
-                                    JobConfig job, int trials, Seed seed) {
+                                    JobConfig job, int trials, Seed seed,
+                                    std::size_t threads) {
   HPCOS_CHECK(trials >= 1);
-  std::vector<double> ratios;
-  ratios.reserve(static_cast<std::size_t>(trials));
-  for (int t = 0; t < trials; ++t) {
-    const Seed s{seed.value + static_cast<std::uint64_t>(t) * 0x9E37ull};
-    BspEngine base_engine(baseline, job, s);
-    BspEngine cand_engine(candidate, job, s);
-    const RunResult b = base_engine.run(workload);
-    const RunResult c = cand_engine.run(workload);
-    ratios.push_back(b.total.ratio(c.total));  // time ratio = perf ratio
-  }
+  // Each trial derives its own seed and writes its ratio into its own
+  // slot; the workload and environments are shared read-only.
+  std::vector<double> ratios(static_cast<std::size_t>(trials), 0.0);
+  parallel_for(
+      static_cast<std::size_t>(trials),
+      [&](std::size_t t) {
+        const Seed s{seed.value + static_cast<std::uint64_t>(t) * 0x9E37ull};
+        BspEngine base_engine(baseline, job, s);
+        BspEngine cand_engine(candidate, job, s);
+        const RunResult b = base_engine.run(workload);
+        const RunResult c = cand_engine.run(workload);
+        ratios[t] = b.total.ratio(c.total);  // time ratio = perf ratio
+      },
+      threads);
   OnlineStats st;
-  for (double v : ratios) st.add(v);
+  for (double v : ratios) st.add(v);  // trial order: thread-count invariant
   return RelativeResult{.mean_ratio = st.mean(), .stddev_ratio = st.stddev()};
 }
 

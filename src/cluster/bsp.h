@@ -63,6 +63,10 @@ class BspEngine {
 
 // Convenience: mean relative performance of `env` vs `baseline` over
 // `trials` seeded runs (the paper's bars: Linux normalized to 1.0).
+// Trials run across the host worker pool (each trial owns its seeded
+// engines and an index-addressed result slot, merged in trial order, so
+// the result is identical for any `threads`); threads = 0 uses
+// default_parallelism(), 1 runs serially.
 struct RelativeResult {
   double mean_ratio = 0.0;   // candidate perf / baseline perf
   double stddev_ratio = 0.0;
@@ -70,6 +74,7 @@ struct RelativeResult {
 RelativeResult relative_performance(const Workload& workload,
                                     const OsEnvironment& baseline,
                                     const OsEnvironment& candidate,
-                                    JobConfig job, int trials, Seed seed);
+                                    JobConfig job, int trials, Seed seed,
+                                    std::size_t threads = 0);
 
 }  // namespace hpcos::cluster

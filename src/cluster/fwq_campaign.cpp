@@ -3,100 +3,174 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace hpcos::cluster {
+namespace {
+
+// Accumulator for one contiguous run of nodes. Each parallel worker owns
+// exactly one shard at a time and sums its nodes in rank order; shards are
+// then merged in shard order, so the floating-point summation order — and
+// therefore the result — is independent of the host thread count.
+struct ShardAccumulator {
+  explicit ShardAccumulator(const LogHistogram& layout) : cdf(layout) {}
+
+  LogHistogram cdf;  // same binning as FwqCampaignResult::cdf
+  double overhead_sum_us = 0.0;  // sum of (T_i - quantum) across everything
+  SimTime min_time = SimTime::max();
+  SimTime max_time = SimTime::zero();
+  std::uint64_t iterations = 0;
+};
+
+void simulate_node(const noise::AnalyticNoiseProfile& profile,
+                   const FwqCampaignConfig& config,
+                   std::uint64_t iters_per_node, RngStream node_rng,
+                   ShardAccumulator& acc, double& node_max_out) {
+  const double quantum_us = config.work_quantum.to_us();
+  noise::AnalyticNodeSampler sampler(profile, config.app_cores,
+                                     node_rng.split(0));
+  RngStream rng = node_rng.split(1);
+
+  double node_max = quantum_us;
+  std::uint64_t hit_iterations = 0;
+
+  // Materialize each noise hit as one (or part of one) iteration.
+  for (const auto& s : sampler.active_sources()) {
+    const double interval_ns =
+        static_cast<double>(s.mean_interval.count_ns());
+    // Occurrence process at node scope (mean_interval is per core for
+    // kPerCore, per node otherwise):
+    //   kPerCore            app_cores independent processes, one core hit
+    //   kPerNodeRandomCore  one process, one core hit
+    //   kAllCores           one process; every core's iteration is
+    //                       lengthened by the SAME occurrence, so each
+    //                       arrival yields app_cores identical samples
+    //                       rather than app_cores independent arrivals
+    double processes = 1.0;
+    std::uint64_t cores_per_hit = 1;
+    switch (s.scope) {
+      case noise::SourceScope::kPerCore:
+        processes = static_cast<double>(config.app_cores);
+        break;
+      case noise::SourceScope::kPerNodeRandomCore:
+        break;
+      case noise::SourceScope::kAllCores:
+        cores_per_hit = static_cast<std::uint64_t>(config.app_cores);
+        break;
+    }
+    const double hits_mean =
+        static_cast<double>(config.duration_per_core.count_ns()) /
+        interval_ns * processes;
+    const std::uint64_t k = rng.poisson(hits_mean);
+    // Cap the individually materialized hits; beyond the cap, fold the
+    // remainder into bulk statistics via the distribution mean plus one
+    // max draw (tail preserved, cost bounded).
+    const std::uint64_t materialize =
+        std::min<std::uint64_t>(k, config.max_materialized_hits);
+    for (std::uint64_t i = 0; i < materialize; ++i) {
+      const double t_us = quantum_us + s.duration.sample(rng).to_us();
+      acc.cdf.add_n(t_us, cores_per_hit);
+      acc.overhead_sum_us +=
+          (t_us - quantum_us) * static_cast<double>(cores_per_hit);
+      node_max = std::max(node_max, t_us);
+      hit_iterations += cores_per_hit;
+    }
+    if (k > materialize) {
+      const std::uint64_t rest = k - materialize;
+      const double mean_us = s.duration.mean().to_us();
+      acc.cdf.add_n(quantum_us + mean_us, rest * cores_per_hit);
+      acc.overhead_sum_us +=
+          mean_us * static_cast<double>(rest * cores_per_hit);
+      const double tail_us =
+          quantum_us + s.duration.sample_max(rest, rng).to_us();
+      node_max = std::max(node_max, tail_us);
+      hit_iterations += rest * cores_per_hit;
+    }
+  }
+
+  // Jitter floor for the unhit bulk.
+  const std::uint64_t unhit =
+      iters_per_node > hit_iterations ? iters_per_node - hit_iterations : 0;
+  if (unhit > 0) {
+    const int reps = std::max(1, config.floor_samples_per_node);
+    const std::uint64_t per_rep = unhit / static_cast<std::uint64_t>(reps);
+    std::uint64_t accounted = 0;
+    for (int i = 0; i < reps; ++i) {
+      const std::uint64_t weight =
+          (i == reps - 1) ? unhit - accounted : per_rep;
+      if (weight == 0) continue;
+      const double t_us =
+          sampler.sample_floor_iteration(config.work_quantum).to_us();
+      acc.cdf.add_n(t_us, weight);
+      acc.overhead_sum_us +=
+          (t_us - quantum_us) * static_cast<double>(weight);
+      node_max = std::max(node_max, t_us);
+      acc.min_time = std::min(acc.min_time, SimTime::from_us(t_us));
+      accounted += weight;
+    }
+  } else {
+    acc.min_time = std::min(acc.min_time, config.work_quantum);
+  }
+
+  acc.max_time = std::max(acc.max_time, SimTime::from_us(node_max));
+  acc.iterations += iters_per_node;
+  node_max_out = node_max;
+}
+
+}  // namespace
 
 FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
                                    const FwqCampaignConfig& config) {
   HPCOS_CHECK(config.nodes >= 1 && config.app_cores >= 1);
-  FwqCampaignResult result;
-
-  const double quantum_us = config.work_quantum.to_us();
+  HPCOS_CHECK(config.nodes_per_shard >= 1);
+  HPCOS_CHECK_MSG(config.work_quantum > SimTime::zero(),
+                  "FWQ work quantum must be positive");
   const auto iters_per_core = static_cast<std::uint64_t>(
       config.duration_per_core.ratio(config.work_quantum));
+  HPCOS_CHECK_MSG(iters_per_core >= 1,
+                  "duration_per_core must cover at least one work_quantum; "
+                  "the campaign would be empty and report zero noise");
   const std::uint64_t iters_per_node =
       iters_per_core * static_cast<std::uint64_t>(config.app_cores);
 
+  FwqCampaignResult result;
+
+  const auto num_shards = static_cast<std::size_t>(
+      (config.nodes + config.nodes_per_shard - 1) / config.nodes_per_shard);
+  std::vector<ShardAccumulator> shards;
+  shards.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards.emplace_back(result.cdf);  // copy of the (empty) target layout
+  }
+  std::vector<double> node_max_us(static_cast<std::size_t>(config.nodes));
+
+  const RngStream root(config.seed, 0xF80);
+  parallel_for(
+      num_shards,
+      [&](std::size_t shard) {
+        ShardAccumulator& acc = shards[shard];
+        const std::int64_t begin =
+            static_cast<std::int64_t>(shard) * config.nodes_per_shard;
+        const std::int64_t end =
+            std::min(begin + config.nodes_per_shard, config.nodes);
+        for (std::int64_t n = begin; n < end; ++n) {
+          simulate_node(profile, config, iters_per_node,
+                        root.split(static_cast<std::uint64_t>(n)), acc,
+                        node_max_us[static_cast<std::size_t>(n)]);
+        }
+      },
+      config.threads);
+
+  // Merge in rank (shard) order.
   SimTime global_min = SimTime::max();
   SimTime global_max = SimTime::zero();
-  double overhead_sum_us = 0.0;  // sum of (T_i - quantum) across everything
-
-  RngStream root(config.seed, 0xF80);
-  std::vector<double> node_max_us;
-  node_max_us.reserve(static_cast<std::size_t>(config.nodes));
-
-  for (std::int64_t n = 0; n < config.nodes; ++n) {
-    RngStream node_rng = root.split(static_cast<std::uint64_t>(n));
-    noise::AnalyticNodeSampler sampler(profile, config.app_cores,
-                                       node_rng.split(0));
-    RngStream rng = node_rng.split(1);
-
-    double node_max = quantum_us;
-    std::uint64_t hit_iterations = 0;
-
-    // Materialize each noise hit as one (or part of one) iteration.
-    for (const auto& s : sampler.active_sources()) {
-      double per_core_interval_ns =
-          static_cast<double>(s.mean_interval.count_ns());
-      double exposed_cores = config.app_cores;
-      if (s.scope == noise::SourceScope::kPerNodeRandomCore) {
-        exposed_cores = 1.0;  // node process, one core per hit
-      }
-      const double hits_mean =
-          static_cast<double>(config.duration_per_core.count_ns()) /
-          per_core_interval_ns * exposed_cores;
-      const std::uint64_t k = rng.poisson(hits_mean);
-      // Cap the individually materialized hits; beyond the cap, fold the
-      // remainder into bulk statistics via the distribution mean plus one
-      // max draw (tail preserved, cost bounded).
-      const std::uint64_t materialize =
-          std::min<std::uint64_t>(k, config.max_materialized_hits);
-      for (std::uint64_t i = 0; i < materialize; ++i) {
-        const double t_us = quantum_us + s.duration.sample(rng).to_us();
-        result.cdf.add(t_us);
-        overhead_sum_us += t_us - quantum_us;
-        node_max = std::max(node_max, t_us);
-        ++hit_iterations;
-      }
-      if (k > materialize) {
-        const std::uint64_t rest = k - materialize;
-        const double mean_us = s.duration.mean().to_us();
-        result.cdf.add_n(quantum_us + mean_us, rest);
-        overhead_sum_us += mean_us * static_cast<double>(rest);
-        const double tail_us =
-            quantum_us + s.duration.sample_max(rest, rng).to_us();
-        node_max = std::max(node_max, tail_us);
-        hit_iterations += rest;
-      }
-    }
-
-    // Jitter floor for the unhit bulk.
-    const std::uint64_t unhit =
-        iters_per_node > hit_iterations ? iters_per_node - hit_iterations : 0;
-    if (unhit > 0) {
-      const int reps = std::max(1, config.floor_samples_per_node);
-      const std::uint64_t per_rep = unhit / static_cast<std::uint64_t>(reps);
-      std::uint64_t accounted = 0;
-      for (int i = 0; i < reps; ++i) {
-        const std::uint64_t weight =
-            (i == reps - 1) ? unhit - accounted : per_rep;
-        if (weight == 0) continue;
-        const double t_us =
-            sampler.sample_floor_iteration(config.work_quantum).to_us();
-        result.cdf.add_n(t_us, weight);
-        overhead_sum_us +=
-            (t_us - quantum_us) * static_cast<double>(weight);
-        node_max = std::max(node_max, t_us);
-        global_min = std::min(global_min, SimTime::from_us(t_us));
-        accounted += weight;
-      }
-    } else {
-      global_min = std::min(global_min, config.work_quantum);
-    }
-
-    global_max = std::max(global_max, SimTime::from_us(node_max));
-    node_max_us.push_back(node_max);
-    result.total_iterations += iters_per_node;
+  double overhead_sum_us = 0.0;
+  for (const ShardAccumulator& acc : shards) {
+    result.cdf.merge(acc.cdf);
+    overhead_sum_us += acc.overhead_sum_us;
+    global_min = std::min(global_min, acc.min_time);
+    global_max = std::max(global_max, acc.max_time);
+    result.total_iterations += acc.iterations;
   }
 
   // Worst-N node selection (what the paper persists to the PFS).

@@ -8,8 +8,15 @@
 // iterations individually; the ocean of unhit iterations enters the
 // histogram as a weighted bulk (with a small representative sample of the
 // jitter floor). Per-node worst values drive the worst-100 selection.
+//
+// Node simulations run across the host worker pool (common/parallel.h).
+// Each node's randomness comes from its own split of the campaign seed and
+// each worker writes into index-addressed per-shard slots that are merged
+// in rank order, so results are byte-identical for any `threads` value
+// (DESIGN §6).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -25,7 +32,9 @@ struct FwqCampaignConfig {
   std::int64_t nodes = 16;
   int app_cores = 48;
   SimTime work_quantum = SimTime::from_ms(6.5);
-  // Total measured wall time per core (paper: 10 x ~6 min = 1 h).
+  // Total measured wall time per core (paper: 10 x ~6 min = 1 h). Must
+  // cover at least one work quantum; an empty campaign would silently
+  // report zero noise.
   SimTime duration_per_core = SimTime::sec(3600);
   int worst_nodes_to_keep = 100;
   // Representative jitter-floor samples materialized per node.
@@ -33,6 +42,13 @@ struct FwqCampaignConfig {
   // Cap on individually-materialized hits per (node, source); the rest
   // enters the histogram as a weighted bulk plus one max-of-k tail draw.
   std::uint64_t max_materialized_hits = 4096;
+  // Host worker threads for the per-node loop: 0 = default_parallelism(),
+  // 1 = serial.
+  std::size_t threads = 0;
+  // Nodes per accumulation shard. Shard boundaries — not the host thread
+  // count — define the floating-point summation order, which is what makes
+  // the result independent of `threads`.
+  std::int64_t nodes_per_shard = 64;
   Seed seed{2021};
 };
 

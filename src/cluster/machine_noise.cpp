@@ -46,18 +46,21 @@ MachineNoiseSampler::MachineNoiseSampler(
         break;
     }
 
-    // Expected per-thread overhead: arrivals x mean duration spread over
-    // the threads that absorb them.
+    // Expected per-thread overhead, averaged over every thread in the
+    // machine: arrivals x mean duration x threads delayed per arrival,
+    // divided by the total thread population. A kAllCores arrival stalls
+    // all app_threads_per_node threads of its node at once; every other
+    // scope delays exactly one thread per arrival. For gated sources
+    // (node_fraction < 1) the arrivals already carry the active_nodes
+    // factor, so the machine average correctly shrinks with the fraction.
     const double mean_dur_ns =
         static_cast<double>(s.duration.mean().count_ns());
-    const double absorbing_threads =
+    const double threads_per_hit =
         s.scope == noise::SourceScope::kAllCores
-            ? active_nodes  // every thread of a node pays, once per node
-            : total_threads;
+            ? static_cast<double>(app_threads_per_node)
+            : 1.0;
     expected_rate_ +=
-        as.arrivals_per_ns * mean_dur_ns / absorbing_threads *
-        (s.scope == noise::SourceScope::kAllCores ? 1.0
-                                                  : 1.0);  // symmetric form
+        as.arrivals_per_ns * mean_dur_ns * threads_per_hit / total_threads;
 
     sources_.push_back(std::move(as));
   }

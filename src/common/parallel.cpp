@@ -2,8 +2,159 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stop_token>
+#include <thread>
+#include <vector>
 
 namespace hpcos {
+namespace {
+
+// One in-flight parallel_for. Workers pull dynamically-sized chunks via
+// `next`; the stop flag is checked before every chunk claim so one
+// worker's exception halts the remaining dispatch instead of silently
+// draining the whole range.
+struct Task {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t chunk = 1;
+  // Pool workers allowed to join in (the calling thread always works).
+  std::size_t max_helpers = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> joiners{0};
+  std::atomic<bool> stop{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+// Lazily-initialized persistent worker pool. Dispatch is a generation
+// counter under a mutex: run() publishes a task and bumps the generation,
+// every worker wakes, works (or skips, past max_helpers), and acks; run()
+// returns once all workers acked the generation, so the Task (a stack
+// object) never outlives its use.
+class WorkerPool {
+ public:
+  static WorkerPool& instance() {
+    static WorkerPool pool;
+    return pool;
+  }
+
+  // True while the current thread is executing chunks of a task — on pool
+  // workers AND on the calling thread (which always participates). Nested
+  // parallel_for falls back to serial instead of re-entering the pool.
+  static bool in_parallel_region() { return in_parallel_region_; }
+
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn,
+           std::size_t threads) {
+    // Serialize top-level calls: the pool runs one task at a time.
+    std::lock_guard<std::mutex> session(session_mutex_);
+    ensure_started();
+
+    Task task;
+    task.count = count;
+    task.fn = &fn;
+    task.max_helpers = threads - 1;
+    // Dynamic chunking: grab modest chunks so stragglers (nodes with busy
+    // noise traces) don't serialize the run.
+    task.chunk = std::max<std::size_t>(1, count / (threads * 8));
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      task_ = &task;
+      acked_ = 0;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    execute(task);  // the calling thread is always a worker
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return acked_ == workers_.size(); });
+    task_ = nullptr;
+    lock.unlock();
+
+    if (task.error) std::rethrow_exception(task.error);
+  }
+
+ private:
+  void ensure_started() {
+    if (!workers_.empty()) return;
+    const std::size_t n = default_parallelism();
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers_.emplace_back(
+          [this](std::stop_token st) { worker_loop(st); });
+    }
+  }
+
+  void worker_loop(std::stop_token st) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Task* task = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock, st, [&] { return generation_ != seen; });
+        if (st.stop_requested()) return;
+        seen = generation_;
+        task = task_;
+      }
+      if (task->joiners.fetch_add(1, std::memory_order_relaxed) <
+          task->max_helpers) {
+        execute(*task);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++acked_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+
+  static void execute(Task& task) {
+    struct RegionGuard {
+      bool prev = in_parallel_region_;
+      RegionGuard() { in_parallel_region_ = true; }
+      ~RegionGuard() { in_parallel_region_ = prev; }
+    } guard;
+    for (;;) {
+      if (task.stop.load(std::memory_order_relaxed)) return;
+      const std::size_t begin =
+          task.next.fetch_add(task.chunk, std::memory_order_relaxed);
+      if (begin >= task.count) return;
+      const std::size_t end = std::min(begin + task.chunk, task.count);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*task.fn)(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(task.error_mutex);
+            if (!task.error) task.error = std::current_exception();
+          }
+          task.stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  }
+
+  std::mutex session_mutex_;
+  std::mutex mutex_;
+  std::condition_variable_any wake_cv_;  // _any: waitable with stop_token
+  std::condition_variable done_cv_;
+  std::vector<std::jthread> workers_;  // request_stop + join on destruction
+  Task* task_ = nullptr;               // guarded by mutex_
+  std::uint64_t generation_ = 0;       // guarded by mutex_
+  std::size_t acked_ = 0;              // guarded by mutex_
+
+  static thread_local bool in_parallel_region_;
+};
+
+thread_local bool WorkerPool::in_parallel_region_ = false;
+
+}  // namespace
 
 std::size_t default_parallelism() {
   const unsigned hc = std::thread::hardware_concurrency();
@@ -17,40 +168,12 @@ void parallel_for(std::size_t count,
   if (threads == 0) threads = default_parallelism();
   threads = std::min(threads, count);
 
-  if (threads <= 1) {
+  if (threads <= 1 || WorkerPool::in_parallel_region()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&]() {
-    // Dynamic chunking: grab modest chunks so stragglers (nodes with busy
-    // noise traces) don't serialize the run.
-    const std::size_t chunk = std::max<std::size_t>(1, count / (threads * 8));
-    for (;;) {
-      const std::size_t begin = next.fetch_add(chunk);
-      if (begin >= count) return;
-      const std::size_t end = std::min(begin + chunk, count);
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          return;
-        }
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  WorkerPool::instance().run(count, fn, threads);
 }
 
 }  // namespace hpcos

@@ -1,17 +1,17 @@
 // Host-side parallelism for the cluster engine.
 //
 // Node simulations are embarrassingly parallel and deterministic by
-// construction (each node owns its RNG streams and event queue), so a static
+// construction (each node owns its RNG streams and event queue), so a
 // chunked parallel_for is all we need: results land in caller-provided,
-// index-addressed storage with no cross-thread shared mutable state.
+// index-addressed storage with no cross-thread shared mutable state, and
+// callers merge per-slot results in rank order. Workers live in a lazily
+// initialized persistent pool (std::jthread, condition-variable dispatch)
+// so campaign drivers that issue many parallel_for calls don't pay a
+// spawn/join per call.
 #pragma once
 
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 namespace hpcos {
 
@@ -19,9 +19,19 @@ namespace hpcos {
 // least 1.
 std::size_t default_parallelism();
 
-// Invoke fn(i) for every i in [0, count) across up to `threads` workers.
-// Exceptions from workers are captured and the first one is rethrown on the
-// calling thread after all workers join.
+// Invoke fn(i) for every i in [0, count) across up to `threads` workers
+// (0 = default_parallelism(), 1 = inline serial execution).
+//
+// Cancellation: once any invocation throws, a shared stop flag halts the
+// remaining dispatch at chunk granularity — workers finish the chunk they
+// hold but claim no new indices — and the first exception is rethrown on
+// the calling thread after all workers quiesce. Indices past the failing
+// chunk are therefore generally NOT visited; do not rely on full coverage
+// when fn can throw.
+//
+// Nested calls (fn itself calling parallel_for) execute inline serially on
+// the worker that reached them; concurrent top-level calls from distinct
+// user threads serialize against each other.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

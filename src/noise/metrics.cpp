@@ -25,16 +25,20 @@ NoiseStats finish_stats(std::span<const std::span<const SimTime>> series) {
   }
   s.max_noise_length = s.t_max - s.t_min;
   const double tmin_ns = static_cast<double>(s.t_min.count_ns());
-  HPCOS_CHECK(tmin_ns > 0.0);
   double sum = 0.0;
   std::uint64_t n = 0;
   for (auto ts : series) {
     for (SimTime t : ts) {
-      sum += static_cast<double>((t - s.t_min).count_ns()) / tmin_ns;
+      if (tmin_ns > 0.0) {
+        sum += static_cast<double>((t - s.t_min).count_ns()) / tmin_ns;
+      }
       ++n;
     }
   }
-  s.noise_rate = n > 0 ? sum / static_cast<double>(n) : 0.0;
+  // T_min == 0 happens on legitimate traces (a zero-work FWQ quantum in
+  // tests); Eq. 2 normalizes by T_min, so the rate is undefined there and
+  // we report zero rather than dividing by zero or aborting.
+  s.noise_rate = n > 0 && tmin_ns > 0.0 ? sum / static_cast<double>(n) : 0.0;
   s.samples = n;
   return s;
 }

@@ -4,6 +4,7 @@
 
 #include "cluster/bsp.h"
 #include "cluster/fwq_campaign.h"
+#include "common/check.h"
 #include "cluster/machine_noise.h"
 #include "cluster/node.h"
 #include "cluster/osenv.h"
@@ -116,6 +117,53 @@ TEST(MachineNoise, ExpectedRateMatchesSampledMean) {
   }
   // One thread: delay is just its own hits: mean = 10ms/100ms * 40us.
   EXPECT_NEAR(total_us / n, 4.0, 0.5);
+}
+
+TEST(MachineNoise, ExpectedRateAllCoresHandComputed) {
+  // One kAllCores source, every node affected: each arrival (one per node
+  // per interval) stalls all threads of its node at once, so the
+  // machine-average per-thread rate is duration/interval — independent of
+  // the thread count per node.
+  noise::AnalyticNoiseProfile p;
+  p.sources.push_back(noise::NoiseSourceSpec{
+      .name = "tlbi",
+      .kind = noise::SourceKind::kTlbiStorm,
+      .scope = noise::SourceScope::kAllCores,
+      .mean_interval = 100_ms,
+      .duration = noise::DurationDist{.median = 1_ms, .sigma = 0.0,
+                                      .min = SimTime::zero(), .max = 1_ms}});
+  const double per_thread = 1e6 / 100e6;  // duration / interval
+  MachineNoiseSampler a(p, 64, 48, RngStream(Seed{11}, 0));
+  EXPECT_NEAR(a.expected_rate(), per_thread, 1e-12);
+  MachineNoiseSampler b(p, 64, 4, RngStream(Seed{11}, 1));
+  EXPECT_NEAR(b.expected_rate(), per_thread, 1e-12);
+
+  // kPerNodeRandomCore with the same spec delays one thread per arrival:
+  // the per-thread rate shrinks by the thread count.
+  p.sources[0].scope = noise::SourceScope::kPerNodeRandomCore;
+  MachineNoiseSampler c(p, 64, 48, RngStream(Seed{11}, 2));
+  EXPECT_NEAR(c.expected_rate(), per_thread / 48.0, 1e-12);
+}
+
+TEST(MachineNoise, ExpectedRateOfGatedAllCoresScalesWithFraction) {
+  // Regression for the machine-average bug: with node_fraction < 1 the
+  // per-thread rate must shrink with the active fraction. The old code
+  // divided by active_nodes, which cancelled the gating entirely and
+  // always reported duration/interval.
+  noise::AnalyticNoiseProfile p;
+  p.sources.push_back(noise::NoiseSourceSpec{
+      .name = "gated",
+      .kind = noise::SourceKind::kDaemon,
+      .scope = noise::SourceScope::kAllCores,
+      .mean_interval = 100_ms,
+      .duration = noise::DurationDist{.median = 1_ms, .sigma = 0.0,
+                                      .min = SimTime::zero(), .max = 1_ms},
+      .node_fraction = 0.25});
+  const double ungated = 1e6 / 100e6;
+  // active_nodes ~ Poisson(1024): mean 0.25 * nodes, sd ~32 nodes.
+  MachineNoiseSampler s(p, 4096, 48, RngStream(Seed{12}, 0));
+  EXPECT_NEAR(s.expected_rate(), 0.25 * ungated, 0.05 * ungated);
+  EXPECT_LT(s.expected_rate(), 0.5 * ungated);  // old code: == ungated
 }
 
 TEST(MachineNoise, StragglersGateOnPopulation) {
@@ -317,6 +365,42 @@ TEST(FwqCampaign, WorstNodeListSortedAndBounded) {
                              r.worst_node_max_us.end(),
                              std::greater<double>()));
   EXPECT_GE(r.worst_node_max_us.front(), r.stats.t_max.to_us() - 1.0);
+}
+
+TEST(FwqCampaign, RejectsEmptyCampaign) {
+  // duration shorter than the quantum used to yield an empty campaign
+  // that silently reported zero noise.
+  FwqCampaignConfig cfg;
+  cfg.duration_per_core = 1_ms;  // < 6.5 ms quantum
+  EXPECT_THROW(run_fwq_campaign(noise::AnalyticNoiseProfile{}, cfg),
+               SimError);
+  cfg.duration_per_core = 10_s;
+  cfg.work_quantum = SimTime::zero();
+  EXPECT_THROW(run_fwq_campaign(noise::AnalyticNoiseProfile{}, cfg),
+               SimError);
+}
+
+TEST(FwqCampaign, AllCoresScopeDelaysEveryCorePerArrival) {
+  // One kAllCores source with a deterministic duration: each node-level
+  // arrival lengthens every core's iteration by the same amount, so the
+  // per-thread noise rate is duration/interval — NOT scaled by app_cores
+  // as the old exposed_cores multiplication had it.
+  noise::AnalyticNoiseProfile p;
+  p.sources.push_back(noise::NoiseSourceSpec{
+      .name = "ipi",
+      .kind = noise::SourceKind::kPmuRead,
+      .scope = noise::SourceScope::kAllCores,
+      .mean_interval = 50_ms,
+      .duration = noise::DurationDist{.median = 65_us, .sigma = 0.0,
+                                      .min = SimTime::zero(),
+                                      .max = 65_us}});
+  FwqCampaignConfig cfg;
+  cfg.nodes = 32;
+  cfg.app_cores = 8;
+  cfg.duration_per_core = 60_s;
+  const auto r = run_fwq_campaign(p, cfg);
+  EXPECT_NEAR(r.stats.noise_rate, 65e3 / 50e6, 2e-4);
+  EXPECT_EQ(r.stats.max_noise_length, 65_us);
 }
 
 TEST(FwqCampaign, DesTraceConversionAgrees) {

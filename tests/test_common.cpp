@@ -2,6 +2,7 @@
 // parallel_for).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <set>
@@ -244,6 +245,48 @@ TEST(ParallelFor, PropagatesException) {
 
 TEST(ParallelFor, ZeroCountIsNoop) {
   parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, FailsFastAfterException) {
+  // Once one invocation throws, the shared stop flag must halt dispatch:
+  // workers finish the chunk they hold but claim no new ones, so only a
+  // small fraction of the range is ever visited.
+  const std::size_t count = 100000;
+  std::atomic<std::size_t> invoked{0};
+  std::atomic<bool> thrown{false};
+  EXPECT_THROW(
+      parallel_for(
+          count,
+          [&](std::size_t) {
+            if (!thrown.exchange(true)) throw std::runtime_error("boom");
+            invoked.fetch_add(1);
+          },
+          4),
+      std::runtime_error);
+  // 4 workers x one in-flight chunk (count / 32) plus slack is far below
+  // the full range; the old spawn-join implementation drained all of it.
+  EXPECT_LT(invoked.load(), count / 2);
+}
+
+TEST(ParallelFor, PoolSurvivesRepeatedDispatch) {
+  // The persistent worker pool must stay healthy across many calls
+  // (campaign drivers issue one dispatch per shard sweep).
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> hits(257, 0);
+    parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; }, 4);
+    for (int h : hits) ASSERT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelFor, NestedCallsFallBackToSerial) {
+  std::atomic<int> total{0};
+  parallel_for(
+      8,
+      [&](std::size_t) {
+        parallel_for(16, [&](std::size_t) { total.fetch_add(1); }, 4);
+      },
+      4);
+  EXPECT_EQ(total.load(), 8 * 16);
 }
 
 }  // namespace

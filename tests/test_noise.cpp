@@ -29,6 +29,25 @@ TEST(Metrics, NoiseStatsBasics) {
   EXPECT_EQ(s.samples, 4u);
 }
 
+TEST(Metrics, ZeroLengthIterationsYieldZeroRate) {
+  // A zero-work FWQ quantum produces a legitimate all-zero trace; Eq. 2
+  // normalizes by T_min, so the rate is undefined there and must come
+  // back as zero instead of aborting the process.
+  const std::vector<SimTime> zeros(8, SimTime::zero());
+  const NoiseStats s = compute_noise_stats(zeros);
+  EXPECT_EQ(s.t_min, SimTime::zero());
+  EXPECT_EQ(s.t_max, SimTime::zero());
+  EXPECT_EQ(s.max_noise_length, SimTime::zero());
+  EXPECT_DOUBLE_EQ(s.noise_rate, 0.0);
+  EXPECT_EQ(s.samples, 8u);
+  // T_min == 0 with nonzero spread: still finite, rate reported as zero.
+  const std::vector<SimTime> mixed{SimTime::zero(), 1_ms};
+  const NoiseStats m = compute_noise_stats(mixed);
+  EXPECT_EQ(m.max_noise_length, 1_ms);
+  EXPECT_DOUBLE_EQ(m.noise_rate, 0.0);
+  EXPECT_EQ(m.samples, 2u);
+}
+
 TEST(Metrics, NoiseLengthSeries) {
   const std::vector<SimTime> ts{7_ms, 6_ms, 8_ms};
   const auto ls = noise_lengths(ts);

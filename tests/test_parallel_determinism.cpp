@@ -1,0 +1,138 @@
+// Determinism property tests for the host-parallel cluster paths.
+//
+// DESIGN §6 promises that results are independent of host thread
+// scheduling: per-entity counter-based RNG streams plus index-addressed
+// result slots merged in rank order. These tests pin that down: the
+// campaign engine and the BSP relative-performance driver must produce
+// byte-identical results for threads ∈ {1, 4, default_parallelism()} and
+// across repeated runs at the same seed.
+//
+// This file is also compiled into the hpcos_parallel_tests executable
+// (ctest label "parallel"), which the ThreadSanitizer job runs:
+//   cmake -B build-tsan -DHPCOS_SANITIZE=thread && ctest -L parallel
+#include <gtest/gtest.h>
+
+#include "cluster/bsp.h"
+#include "cluster/fwq_campaign.h"
+#include "cluster/osenv.h"
+#include "common/histogram.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "noise/profiles.h"
+
+namespace hpcos::cluster {
+namespace {
+
+using namespace hpcos::literals;
+
+void expect_identical(const FwqCampaignResult& a, const FwqCampaignResult& b) {
+  EXPECT_EQ(a.total_iterations, b.total_iterations);
+  EXPECT_EQ(a.stats.t_min, b.stats.t_min);
+  EXPECT_EQ(a.stats.t_max, b.stats.t_max);
+  EXPECT_EQ(a.stats.max_noise_length, b.stats.max_noise_length);
+  EXPECT_EQ(a.stats.samples, b.stats.samples);
+  // Bitwise double comparison on purpose: the merge order is fixed by
+  // shard boundaries, not by the host thread count.
+  EXPECT_DOUBLE_EQ(a.stats.noise_rate, b.stats.noise_rate);
+  ASSERT_EQ(a.worst_node_max_us.size(), b.worst_node_max_us.size());
+  EXPECT_EQ(a.worst_node_max_us, b.worst_node_max_us);
+  ASSERT_EQ(a.cdf.num_bins(), b.cdf.num_bins());
+  EXPECT_EQ(a.cdf.total_count(), b.cdf.total_count());
+  EXPECT_DOUBLE_EQ(a.cdf.observed_min(), b.cdf.observed_min());
+  EXPECT_DOUBLE_EQ(a.cdf.observed_max(), b.cdf.observed_max());
+  for (std::size_t i = 0; i < a.cdf.num_bins(); ++i) {
+    ASSERT_EQ(a.cdf.bin_count(i), b.cdf.bin_count(i)) << "bin " << i;
+  }
+}
+
+FwqCampaignConfig campaign_config(std::size_t threads) {
+  FwqCampaignConfig cfg;
+  cfg.nodes = 300;  // not a multiple of nodes_per_shard: ragged last shard
+  cfg.app_cores = 16;
+  cfg.duration_per_core = 120_s;
+  cfg.worst_nodes_to_keep = 50;
+  cfg.threads = threads;
+  cfg.seed = Seed{0xDE7E};
+  return cfg;
+}
+
+TEST(ParallelDeterminism, FwqCampaignIdenticalAcrossThreadCounts) {
+  // The OFP Linux profile exercises every source scope, gated straggler
+  // sources, and the jitter floor.
+  const auto profile = noise::ofp_linux_profile();
+  const auto serial = run_fwq_campaign(profile, campaign_config(1));
+  const auto four = run_fwq_campaign(profile, campaign_config(4));
+  const auto dflt =
+      run_fwq_campaign(profile, campaign_config(default_parallelism()));
+  expect_identical(serial, four);
+  expect_identical(serial, dflt);
+}
+
+TEST(ParallelDeterminism, FwqCampaignIdenticalAcrossRuns) {
+  const auto profile = noise::fugaku_linux_profile();
+  const auto a = run_fwq_campaign(profile, campaign_config(4));
+  const auto b = run_fwq_campaign(profile, campaign_config(4));
+  expect_identical(a, b);
+}
+
+TEST(ParallelDeterminism, RelativePerformanceIdenticalAcrossThreadCounts) {
+  class TinyWorkload final : public Workload {
+   public:
+    std::string name() const override { return "tiny"; }
+    int iterations() const override { return 6; }
+    RankWork rank_work(int, const JobConfig&,
+                       const OsEnvironment&) const override {
+      RankWork w;
+      w.compute = SimTime::ms(5);
+      w.allreduces = 1;
+      w.allreduce_bytes = 4096;
+      return w;
+    }
+  };
+  const auto lin = make_ofp_linux_env();
+  const auto mck = make_ofp_mckernel_env();
+  const JobConfig job{.nodes = 128, .ranks_per_node = 16,
+                      .threads_per_rank = 16};
+  TinyWorkload w;
+  const auto serial =
+      relative_performance(w, lin, mck, job, /*trials=*/8, Seed{31}, 1);
+  const auto four =
+      relative_performance(w, lin, mck, job, /*trials=*/8, Seed{31}, 4);
+  const auto dflt = relative_performance(w, lin, mck, job, /*trials=*/8,
+                                         Seed{31}, default_parallelism());
+  EXPECT_DOUBLE_EQ(serial.mean_ratio, four.mean_ratio);
+  EXPECT_DOUBLE_EQ(serial.stddev_ratio, four.stddev_ratio);
+  EXPECT_DOUBLE_EQ(serial.mean_ratio, dflt.mean_ratio);
+  EXPECT_DOUBLE_EQ(serial.stddev_ratio, dflt.stddev_ratio);
+}
+
+TEST(ParallelDeterminism, HistogramShardMergeEqualsSinglePass) {
+  // Shard-and-merge (what the campaign does per node shard) must be
+  // indistinguishable from one serial pass.
+  RngStream rng(Seed{77}, 0);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(rng.lognormal(8.0, 1.5));
+  }
+  LogHistogram whole(1000.0, 1e6, 2048);
+  for (double v : values) whole.add(v);
+
+  LogHistogram merged(1000.0, 1e6, 2048);
+  const std::size_t shard_size = 311;  // ragged shards on purpose
+  for (std::size_t begin = 0; begin < values.size(); begin += shard_size) {
+    LogHistogram shard(1000.0, 1e6, 2048);
+    const std::size_t end = std::min(begin + shard_size, values.size());
+    for (std::size_t i = begin; i < end; ++i) shard.add(values[i]);
+    merged.merge(shard);
+  }
+
+  EXPECT_EQ(merged.total_count(), whole.total_count());
+  EXPECT_DOUBLE_EQ(merged.observed_min(), whole.observed_min());
+  EXPECT_DOUBLE_EQ(merged.observed_max(), whole.observed_max());
+  for (std::size_t i = 0; i < whole.num_bins(); ++i) {
+    ASSERT_EQ(merged.bin_count(i), whole.bin_count(i)) << "bin " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hpcos::cluster
