@@ -6,6 +6,8 @@
 // the exact format of the paper's bar charts.
 #pragma once
 
+#include <algorithm>
+#include <cctype>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -15,6 +17,7 @@
 #include "cluster/bsp.h"
 #include "common/parallel.h"
 #include "common/table.h"
+#include "obs/bench_report.h"
 
 namespace hpcos::bench {
 
@@ -60,7 +63,8 @@ inline std::vector<FigureRow> run_plan(const FigurePlan& plan,
                                        apps::PlatformKind platform,
                                        const cluster::OsEnvironment& linux_env,
                                        const cluster::OsEnvironment& mck_env,
-                                       std::size_t threads = 0) {
+                                       std::size_t threads = 0,
+                                       int trials = 3) {
   struct FlatPoint {
     const std::string* workload;
     PlanPoint point;
@@ -74,10 +78,33 @@ inline std::vector<FigureRow> run_plan(const FigurePlan& plan,
       flat.size(),
       [&](std::size_t i) {
         rows[i] = run_point(*flat[i].workload, platform, linux_env, mck_env,
-                            flat[i].point.nodes, flat[i].point.paper);
+                            flat[i].point.nodes, flat[i].point.paper, trials);
       },
       threads);
   return rows;
+}
+
+// Smoke-mode plan: only the smallest node count of each workload (paired
+// with trials=1 this keeps the bench_smoke job seconds-long).
+inline FigurePlan quick_plan(const FigurePlan& plan) {
+  FigurePlan out;
+  for (const auto& [name, points] : plan) {
+    if (!points.empty()) out.push_back({name, {points.front()}});
+  }
+  return out;
+}
+
+// One BenchReport metric per figure row: `<workload>.n<nodes>.relative`.
+inline void add_figure_metrics(obs::BenchReport& report,
+                               const std::vector<FigureRow>& rows) {
+  for (const auto& r : rows) {
+    std::string slug = r.workload;
+    std::transform(slug.begin(), slug.end(), slug.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    report.add_metric(slug + ".n" + std::to_string(r.nodes) + ".relative",
+                      "ratio", r.mckernel_relative);
+  }
 }
 
 inline void print_figure(const std::string& title,

@@ -11,6 +11,7 @@
 
 #include "cluster/node.h"
 #include "mckernel/offload.h"
+#include "obs/bench_report.h"
 
 namespace {
 
@@ -103,4 +104,36 @@ BENCHMARK(BM_StagRegistrationPicoDriver)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// With `--json`/`--quick` the measurement cores run directly (one pass,
+// simulated time only) and a BenchReport is emitted; otherwise the
+// remaining argv goes to google-benchmark as usual.
+int main(int argc, char** argv) {
+  const auto opts = hpcos::obs::parse_bench_options(argc, argv);
+  if (!opts.json_path.empty() || opts.quick) {
+    hpcos::obs::BenchReport report("bench_ablation_offload", opts.quick, 11);
+    const int count = opts.quick ? 20 : 100;
+    const hpcos::os::SyscallArgs reg{
+        .arg0 = 0, .arg1 = 64ull << 20, .arg2 = hpcos::mck::kTofuRegisterStag};
+    report.add_metric(
+        "local.sim_roundtrip_us", "us",
+        measure_syscall(hpcos::os::Syscall::kGetTimeOfDay, {}, false, count));
+    report.add_metric(
+        "offloaded.sim_roundtrip_us", "us",
+        measure_syscall(hpcos::os::Syscall::kStat, {}, false, count));
+    report.add_metric(
+        "stag_offloaded.sim_roundtrip_us", "us",
+        measure_syscall(hpcos::os::Syscall::kIoctl, reg, false, count / 2));
+    report.add_metric(
+        "stag_picodriver.sim_roundtrip_us", "us",
+        measure_syscall(hpcos::os::Syscall::kIoctl, reg, true, count / 2));
+    hpcos::obs::maybe_write_report(report, opts);
+    return 0;
+  }
+  int bargc = static_cast<int>(opts.remaining.size());
+  std::vector<char*> bargv = opts.remaining;
+  benchmark::Initialize(&bargc, bargv.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,7 @@
 
 #include "hw/platform.h"
 #include "hw/tlb.h"
+#include "obs/bench_report.h"
 #include "oskernel/costs.h"
 
 namespace {
@@ -65,4 +66,46 @@ BENCHMARK(BM_PagePolicy)->Apply(PageArgs);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// With `--json`/`--quick` the TLB model is evaluated directly (it is pure
+// computation) and a BenchReport is emitted; otherwise the remaining argv
+// goes to google-benchmark as usual.
+int main(int argc, char** argv) {
+  using namespace hpcos;
+  const auto opts = obs::parse_bench_options(argc, argv);
+  if (!opts.json_path.empty() || opts.quick) {
+    obs::BenchReport report("bench_ablation_pages", opts.quick);
+    const os::KernelCosts costs;
+    const std::uint64_t ws = 2048ull << 20;  // the mid-size working set
+    for (const bool fugaku : {false, true}) {
+      const auto platform =
+          fugaku ? hw::make_fugaku_platform() : hw::make_ofp_platform();
+      const hw::TlbModel tlb(platform.tlb);
+      for (const hw::PageSize page : kPages) {
+        const std::string slug = std::string(fugaku ? "a64fx" : "knl") +
+                                 "." + hw::to_string(page);
+        const std::uint64_t pages = ws / hw::bytes(page);
+        const SimTime per_fault =
+            hw::bytes(page) <= hw::bytes(hw::PageSize::k64K)
+                ? costs.page_fault_base
+                : costs.page_fault_large;
+        report.add_metric(slug + ".slowdown", "ratio",
+                          tlb.access_slowdown(ws, page));
+        report.add_metric(
+            slug + ".reach_mib", "mib",
+            static_cast<double>(tlb.reach_bytes(page)) / (1 << 20));
+        report.add_metric(
+            slug + ".fault_in_ms", "ms",
+            (per_fault * static_cast<std::int64_t>(pages)).to_ms());
+      }
+    }
+    obs::maybe_write_report(report, opts);
+    return 0;
+  }
+  int bargc = static_cast<int>(opts.remaining.size());
+  std::vector<char*> bargv = opts.remaining;
+  benchmark::Initialize(&bargc, bargv.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,7 @@
 
 #include "cluster/node.h"
 #include "noise/fwq.h"
+#include "obs/bench_report.h"
 
 namespace {
 
@@ -91,4 +92,38 @@ BENCHMARK(BM_TlbiStrategy)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// With `--json`/`--quick` the storm runs once per strategy (simulated
+// costs only) and a BenchReport is emitted; otherwise the remaining argv
+// goes to google-benchmark as usual.
+int main(int argc, char** argv) {
+  const auto opts = hpcos::obs::parse_bench_options(argc, argv);
+  if (!opts.json_path.empty() || opts.quick) {
+    hpcos::obs::BenchReport report("bench_ablation_tlbi", opts.quick, 3);
+    const std::uint64_t flushes = opts.quick ? 100 : 10000;
+    const struct {
+      const char* slug;
+      hpcos::linuxk::TlbFlushMode mode;
+    } strategies[] = {
+        {"ipi", hpcos::linuxk::TlbFlushMode::kIpi},
+        {"broadcast", hpcos::linuxk::TlbFlushMode::kBroadcast},
+        {"broadcast_patched",
+         hpcos::linuxk::TlbFlushMode::kBroadcastPatched},
+    };
+    for (const auto& s : strategies) {
+      const StormOutcome out = run_storm(s.mode, flushes);
+      report.add_metric(std::string(s.slug) + ".victim_delay_us", "us",
+                        out.victim_delay_us);
+      report.add_metric(std::string(s.slug) + ".initiator_us", "us",
+                        out.initiator_us);
+    }
+    hpcos::obs::maybe_write_report(report, opts);
+    return 0;
+  }
+  int bargc = static_cast<int>(opts.remaining.size());
+  std::vector<char*> bargv = opts.remaining;
+  benchmark::Initialize(&bargc, bargv.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,10 +9,14 @@
 
 #include "common/table.h"
 #include "noise/metrics.h"
+#include "obs/bench_report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcos;
   using noise::NoiseGroup;
+
+  const auto opts = obs::parse_bench_options(argc, argv);
+  obs::BenchReport report("bench_fig1_noise_model", opts.quick);
 
   print_banner(std::cout, "Equation 1: BSP noise delay model (Section 2)");
 
@@ -22,12 +26,14 @@ int main() {
       std::span(&example, 1), SimTime::us(250), 100'000);
   std::cout << "Paper example: N=100,000, S=250us, L=1ms, I=500s -> "
             << TextTable::fmt_percent(delay) << " slowdown (paper: ~20%)\n";
+  report.add_metric("paper_example.slowdown", "ratio", delay);
 
   const double p_full = noise::hit_probability(
       SimTime::us(250), SimTime::sec(600), 7'630'848);
   std::cout << "Full-scale Fugaku (N=7,630,848): once-per-600s noise hits a "
                "sync interval with probability "
             << TextTable::fmt(p_full, 3) << " (paper: close to 1)\n";
+  report.add_metric("fugaku_full_scale.hit_probability", "ratio", p_full);
 
   print_banner(std::cout,
                "Noise amplification vs thread count (L=1ms, I=500s, "
@@ -37,10 +43,12 @@ int main() {
        {1ull, 100ull, 10'000ull, 100'000ull, 1'000'000ull, 7'630'848ull}) {
     const double p =
         noise::hit_probability(SimTime::us(250), SimTime::sec(500), n);
+    const double d =
+        noise::bsp_noise_delay(std::span(&example, 1), SimTime::us(250), n);
     t.add_row({TextTable::fmt_int(static_cast<long long>(n)),
-               TextTable::fmt(p, 4),
-               TextTable::fmt_percent(noise::bsp_noise_delay(
-                   std::span(&example, 1), SimTime::us(250), n))});
+               TextTable::fmt(p, 4), TextTable::fmt_percent(d)});
+    report.add_metric("amplification.n" + std::to_string(n) + ".slowdown",
+                      "ratio", d);
   }
   t.print(std::cout);
 
@@ -56,5 +64,7 @@ int main() {
                    std::span(&example, 1), sync, 7'630'848))});
   }
   s.print(std::cout);
+
+  obs::maybe_write_report(report, opts);
   return 0;
 }

@@ -14,12 +14,15 @@
 #include "common/table.h"
 #include "noise/fwq.h"
 #include "noise/metrics.h"
+#include "obs/bench_report.h"
 
 namespace {
 
 using namespace hpcos;
 
-void run_config(const std::string& label, const noise::Countermeasures& cm) {
+noise::NoiseStats run_config(const std::string& label,
+                             const noise::Countermeasures& cm,
+                             std::uint64_t iterations) {
   const auto platform = hw::make_fugaku_testbed_platform();
   auto cfg = linuxk::make_fugaku_linux_config(platform, cm);
   cfg.profile = noise::strip_population_tails(cfg.profile);
@@ -28,7 +31,7 @@ void run_config(const std::string& label, const noise::Countermeasures& cm) {
 
   noise::FwqConfig fwq;
   fwq.work_quantum = SimTime::from_ms(6.5);
-  fwq.iterations = 30'000;  // ~195 s per core
+  fwq.iterations = iterations;
   const auto traces = noise::run_fwq(
       node->app_kernel(), node->topology().application_cores(), fwq);
 
@@ -83,15 +86,38 @@ void run_config(const std::string& label, const noise::Countermeasures& cm) {
                  TextTable::fmt(events[i].first, 2)});
   }
   top.print(std::cout);
+  return stats;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using CM = noise::Countermeasures;
-  run_config("(a) all countermeasures enabled", CM{});
-  run_config("(b) daemon processes unbound", CM{.bind_daemons = false});
-  run_config("(c) CPU-global TLB flush enabled",
-             CM{.suppress_global_tlbi = false});
+  const auto opts = obs::parse_bench_options(argc, argv);
+  obs::BenchReport report("bench_fig3_fwq_timeseries", opts.quick, 7);
+  // ~195 s per core in the full run; the smoke run keeps the same three
+  // configurations over a short series.
+  const std::uint64_t iterations = opts.quick ? 1'000 : 30'000;
+
+  struct Cfg {
+    const char* slug;
+    const char* label;
+    CM cm;
+  };
+  const Cfg configs[] = {
+      {"all_enabled", "(a) all countermeasures enabled", CM{}},
+      {"daemons_unbound", "(b) daemon processes unbound",
+       CM{.bind_daemons = false}},
+      {"global_tlbi", "(c) CPU-global TLB flush enabled",
+       CM{.suppress_global_tlbi = false}},
+  };
+  for (const auto& c : configs) {
+    const auto stats = run_config(c.label, c.cm, iterations);
+    report.add_metric(std::string(c.slug) + ".max_noise_us", "us",
+                      stats.max_noise_length.to_us());
+    report.add_metric(std::string(c.slug) + ".noise_rate", "ratio",
+                      stats.noise_rate);
+  }
+  obs::maybe_write_report(report, opts);
   return 0;
 }

@@ -20,12 +20,15 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "noise/profiles.h"
+#include "obs/bench_report.h"
+#include "obs/registry.h"
 
 namespace {
 
 using namespace hpcos;
 
 struct Config {
+  std::string slug;
   std::string label;
   noise::AnalyticNoiseProfile profile;
   std::int64_t nodes;
@@ -50,18 +53,26 @@ bool identical_results(const cluster::FwqCampaignResult& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = obs::parse_bench_options(argc, argv);
+  obs::BenchReport report("bench_fig4_fwq_cdf", opts.quick, 20211115);
+  // Smoke mode shrinks the populations and the per-core wall time; the
+  // configurations, the parallelism check, and the registry parity check
+  // all still run.
+  const bool q = opts.quick;
+  const SimTime duration = SimTime::sec(q ? 300 : 3600);
+
   const std::vector<Config> configs = {
-      {"OFP / Linux, 1024 nodes", noise::ofp_linux_profile(), 1024, 256,
-       24.0},
-      {"OFP / McKernel, 1024 nodes", noise::ofp_mckernel_profile(), 1024,
-       256, 7.0},
-      {"Fugaku / Linux, full scale", noise::fugaku_linux_profile(), 158976,
-       48, 10.0},
-      {"Fugaku / Linux, 24 racks", noise::fugaku_linux_profile(), 9216, 48,
-       7.5},
-      {"Fugaku / McKernel, 24 racks", noise::fugaku_mckernel_profile(), 9216,
-       48, 7.0},
+      {"ofp_linux", "OFP / Linux, 1024 nodes", noise::ofp_linux_profile(),
+       q ? 64 : 1024, 256, 24.0},
+      {"ofp_mckernel", "OFP / McKernel, 1024 nodes",
+       noise::ofp_mckernel_profile(), q ? 64 : 1024, 256, 7.0},
+      {"fugaku_linux_full", "Fugaku / Linux, full scale",
+       noise::fugaku_linux_profile(), q ? 512 : 158976, 48, 10.0},
+      {"fugaku_linux_24racks", "Fugaku / Linux, 24 racks",
+       noise::fugaku_linux_profile(), q ? 256 : 9216, 48, 7.5},
+      {"fugaku_mckernel_24racks", "Fugaku / McKernel, 24 racks",
+       noise::fugaku_mckernel_profile(), q ? 256 : 9216, 48, 7.0},
   };
 
   print_banner(std::cout,
@@ -74,7 +85,7 @@ int main() {
     cluster::FwqCampaignConfig cfg;
     cfg.nodes = c.nodes;
     cfg.app_cores = c.app_cores;
-    cfg.duration_per_core = SimTime::sec(3600);
+    cfg.duration_per_core = duration;
     cfg.max_materialized_hits = c.nodes > 20000 ? 256 : 2048;
     cfg.seed = Seed{20211115};
     results.push_back(cluster::run_fwq_campaign(c.profile, cfg));
@@ -87,6 +98,11 @@ int main() {
                TextTable::fmt(c.paper_tail_ms, 1),
                TextTable::fmt_int(
                    static_cast<long long>(r.total_iterations))});
+    report.add_metric(c.slug + ".p50_ms", "ms",
+                      r.cdf.quantile(0.50) / 1000.0);
+    report.add_metric(c.slug + ".p99_ms", "ms",
+                      r.cdf.quantile(0.99) / 1000.0);
+    report.add_metric(c.slug + ".max_ms", "ms", r.stats.t_max.to_ms());
     std::cout << "." << std::flush;
   }
   std::cout << "\n";
@@ -120,8 +136,9 @@ int main() {
   // Worst-100-node view for the full-scale Fugaku run (what the paper
   // saves to the parallel file system).
   cluster::FwqCampaignConfig cfg;
-  cfg.nodes = 158976;
+  cfg.nodes = q ? 512 : 158976;
   cfg.app_cores = 48;
+  cfg.duration_per_core = duration;
   cfg.max_materialized_hits = 256;
   cfg.seed = Seed{20211115};
   const auto full = cluster::run_fwq_campaign(noise::fugaku_linux_profile(),
@@ -134,20 +151,31 @@ int main() {
                TextTable::fmt(full.worst_node_max_us[i] / 1000.0, 2)});
   }
   w.print(std::cout);
+  if (!full.worst_node_max_us.empty()) {
+    report.add_metric("full_scale.worst_node_ms", "ms",
+                      full.worst_node_max_us.front() / 1000.0);
+  }
 
-  // Host parallelism check: the 1,024-node OFP/Linux campaign serial vs
-  // the worker pool. Results must be bit-identical (DESIGN §6); the
-  // speedup tracks the host's core count.
+  // Host parallelism and observability parity on the OFP/Linux campaign:
+  //  * serial vs the worker pool must be bit-identical (DESIGN §6), with
+  //    the speedup tracking the host's core count;
+  //  * attaching an obs::Registry must not change a single bit of the
+  //    result, and its cost must be in the noise — the instrumented paths
+  //    count shard-locally and fold once at the end, so "registry on" is
+  //    perf-parity with "registry off".
   {
     print_banner(std::cout,
-                 "Host parallelism: serial vs worker pool (1,024 nodes)");
+                 "Host parallelism & registry parity: serial vs pool vs "
+                 "instrumented");
     cluster::FwqCampaignConfig pcfg;
-    pcfg.nodes = 1024;
+    pcfg.nodes = q ? 64 : 1024;
     pcfg.app_cores = 256;
+    pcfg.duration_per_core = duration;
     pcfg.max_materialized_hits = 2048;
     pcfg.seed = Seed{20211115};
-    auto timed_run = [&](std::size_t threads) {
+    auto timed_run = [&](std::size_t threads, obs::Registry* registry) {
       pcfg.threads = threads;
+      pcfg.registry = registry;
       const auto start = std::chrono::steady_clock::now();
       auto r = cluster::run_fwq_campaign(noise::ofp_linux_profile(), pcfg);
       const auto stop = std::chrono::steady_clock::now();
@@ -155,15 +183,40 @@ int main() {
           std::move(r),
           std::chrono::duration<double>(stop - start).count());
     };
-    const auto [serial, serial_s] = timed_run(1);
-    const auto [pooled, pooled_s] = timed_run(default_parallelism());
+    const auto [serial, serial_s] = timed_run(1, nullptr);
+    const auto [pooled, pooled_s] = timed_run(default_parallelism(), nullptr);
+    obs::Registry registry;
+    const auto [instrumented, instr_s] = timed_run(1, &registry);
+
+    const bool pool_identical = identical_results(serial, pooled);
+    const bool registry_identical = identical_results(serial, instrumented);
+    const double overhead = instr_s / serial_s;
     std::cout << "threads=1: " << TextTable::fmt(serial_s, 3)
               << " s;  threads=" << default_parallelism() << ": "
               << TextTable::fmt(pooled_s, 3) << " s;  speedup "
               << TextTable::fmt(serial_s / pooled_s, 2) << "x;  results "
-              << (identical_results(serial, pooled) ? "bit-identical"
-                                                    : "DIFFER (BUG)")
+              << (pool_identical ? "bit-identical" : "DIFFER (BUG)")
               << "\n";
+    std::cout << "registry attached (threads=1): "
+              << TextTable::fmt(instr_s, 3) << " s;  overhead "
+              << TextTable::fmt(overhead, 3) << "x;  results "
+              << (registry_identical ? "bit-identical" : "DIFFER (BUG)")
+              << ";  topk pushes="
+              << registry.find_counter("fwq.topk.pushes")->value()
+              << " evictions="
+              << registry.find_counter("fwq.topk.evictions")->value()
+              << "\n";
+    report.add_metric("parallel.speedup", "ratio", serial_s / pooled_s);
+    report.add_metric("parallel.bit_identical", "count",
+                      pool_identical ? 1.0 : 0.0);
+    report.add_metric("registry.bit_identical", "count",
+                      registry_identical ? 1.0 : 0.0);
+    report.add_metric("registry.overhead_ratio", "ratio", overhead);
+    report.add_metric(
+        "registry.topk_pushes", "count",
+        static_cast<double>(
+            registry.find_counter("fwq.topk.pushes")->value()));
   }
+  obs::maybe_write_report(report, opts);
   return 0;
 }

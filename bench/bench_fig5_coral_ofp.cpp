@@ -6,8 +6,11 @@
 
 #include "app_bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcos;
+
+  const auto opts = obs::parse_bench_options(argc, argv);
+  obs::BenchReport report("bench_fig5_coral_ofp", opts.quick, 20211114);
 
   const auto linux_env = cluster::make_ofp_linux_env();
   const auto mck_env = cluster::make_ofp_mckernel_env();
@@ -24,9 +27,12 @@ int main() {
         {4096, 1.85}, {8192, 1.95}}},
   };
 
-  const auto rows =
-      bench::run_plan(plan, apps::PlatformKind::kOfp, linux_env, mck_env);
+  const auto rows = bench::run_plan(
+      opts.quick ? bench::quick_plan(plan) : plan, apps::PlatformKind::kOfp,
+      linux_env, mck_env, /*threads=*/0, /*trials=*/opts.quick ? 1 : 3);
   bench::print_figure(
       "Figure 5: CORAL applications on Oakforest-PACS (Linux = 1.0)", rows);
+  bench::add_figure_metrics(report, rows);
+  obs::maybe_write_report(report, opts);
   return 0;
 }

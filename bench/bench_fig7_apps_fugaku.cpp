@@ -6,8 +6,11 @@
 
 #include "app_bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcos;
+
+  const auto opts = obs::parse_bench_options(argc, argv);
+  obs::BenchReport report("bench_fig7_apps_fugaku", opts.quick, 20211114);
 
   const auto linux_env = cluster::make_fugaku_linux_env();
   const auto mck_env = cluster::make_fugaku_mckernel_env();
@@ -18,26 +21,31 @@ int main() {
       {"GAMERA", {{128, 1.06}, {512, 1.10}, {2048, 1.18}, {8192, 1.29}}},
   };
 
-  const auto rows =
-      bench::run_plan(plan, apps::PlatformKind::kFugaku, linux_env, mck_env);
+  const auto rows = bench::run_plan(
+      opts.quick ? bench::quick_plan(plan) : plan,
+      apps::PlatformKind::kFugaku, linux_env, mck_env, /*threads=*/0,
+      /*trials=*/opts.quick ? 1 : 3);
   double sum = 0.0;
   for (const auto& r : rows) sum += r.mckernel_relative;
   bench::print_figure(
       "Figure 7: LQCD / GeoFEM / GAMERA on Fugaku (Linux = 1.0)", rows);
+  bench::add_figure_metrics(report, rows);
 
   // §6.4: "McKernel performs significantly better in the first step (out
   // of three)" — the registration-heavy setup lands there. Reproduce the
-  // per-step view at 2,048 nodes.
+  // per-step view at 2,048 nodes (128 in smoke mode).
   {
+    const std::int64_t nodes = opts.quick ? 128 : 2048;
     const auto w = apps::make_workload("GAMERA", apps::PlatformKind::kFugaku);
     const auto job =
-        apps::job_geometry("GAMERA", apps::PlatformKind::kFugaku, 2048);
+        apps::job_geometry("GAMERA", apps::PlatformKind::kFugaku, nodes);
     cluster::BspEngine le(linux_env, job, Seed{77});
     cluster::BspEngine me(mck_env, job, Seed{77});
     const auto lr = le.run(*w);
     const auto mr = me.run(*w);
     hpcos::print_banner(std::cout,
-                        "GAMERA per-step breakdown at 2,048 nodes");
+                        "GAMERA per-step breakdown at " +
+                            std::to_string(nodes) + " nodes");
     hpcos::TextTable steps({"step", "Linux (s)", "McKernel (s)",
                             "McKernel relative"});
     for (int step = 0; step < 3; ++step) {
@@ -47,13 +55,19 @@ int main() {
                      hpcos::TextTable::fmt(l.to_sec(), 3),
                      hpcos::TextTable::fmt(m.to_sec(), 3),
                      hpcos::TextTable::fmt(l.ratio(m), 3)});
+      report.add_metric("gamera.step" + std::to_string(step + 1) +
+                            ".relative",
+                        "ratio", l.ratio(m));
     }
     steps.print(std::cout);
     std::cout << "(the gain concentrates in step 1, where registration-"
                  "heavy setup lands — §6.4)\n";
   }
+  const double avg_gain_pct = (sum / rows.size() - 1.0) * 100.0;
   std::cout << "\nAverage McKernel gain across Fugaku experiments: "
-            << hpcos::TextTable::fmt((sum / rows.size() - 1.0) * 100.0, 1)
+            << hpcos::TextTable::fmt(avg_gain_pct, 1)
             << "% (paper: ~4% across all experiments)\n";
+  report.add_metric("average_gain", "percent", avg_gain_pct);
+  obs::maybe_write_report(report, opts);
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "common/table.h"
 #include "noise/fwq.h"
 #include "noise/metrics.h"
+#include "obs/bench_report.h"
 
 namespace {
 
@@ -45,7 +46,8 @@ class Aggressor final : public os::ThreadBody {
 
 noise::NoiseStats measure(os::NodeKernel& app_kernel,
                           linuxk::LinuxKernel& linux,
-                          const hw::NodeTopology& topo, bool bind_aggressor) {
+                          const hw::NodeTopology& topo, bool bind_aggressor,
+                          std::uint64_t iterations) {
   for (int i = 0; i < 4; ++i) {
     os::SpawnAttrs attrs;
     attrs.name = "aggressor-" + std::to_string(i);
@@ -56,7 +58,7 @@ noise::NoiseStats measure(os::NodeKernel& app_kernel,
   }
   noise::FwqConfig fwq;
   fwq.work_quantum = SimTime::from_ms(6.5);
-  fwq.iterations = 5000;
+  fwq.iterations = iterations;
   const auto traces =
       noise::run_fwq(app_kernel, topo.application_cores(), fwq);
   return noise::compute_noise_stats(traces);
@@ -64,7 +66,10 @@ noise::NoiseStats measure(os::NodeKernel& app_kernel,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = obs::parse_bench_options(argc, argv);
+  obs::BenchReport report("bench_isolation", opts.quick, 1);
+  const std::uint64_t iterations = opts.quick ? 500 : 5000;
   const auto platform = hw::make_fugaku_testbed_platform();
   auto quiet = [&] {
     auto cfg = linuxk::make_fugaku_linux_config(platform);
@@ -75,13 +80,13 @@ int main() {
   auto linux_bound = cluster::SimNode::make_linux_node(
       platform, quiet(), cluster::SimNodeOptions{.seed = Seed{1}});
   const auto bound = measure(linux_bound->app_kernel(), linux_bound->linux(),
-                             linux_bound->topology(), true);
+                             linux_bound->topology(), true, iterations);
 
   auto linux_unbound = cluster::SimNode::make_linux_node(
       platform, quiet(), cluster::SimNodeOptions{.seed = Seed{1}});
   const auto unbound =
       measure(linux_unbound->app_kernel(), linux_unbound->linux(),
-              linux_unbound->topology(), false);
+              linux_unbound->topology(), false, iterations);
 
   auto mcfg = mck::McKernelConfig::defaults();
   mcfg.hw_noise = noise::AnalyticNoiseProfile{};
@@ -89,7 +94,8 @@ int main() {
       platform, quiet(), std::move(mcfg),
       cluster::SimNodeOptions{.seed = Seed{1}});
   const auto structural =
-      measure(mk->app_kernel(), mk->linux(), mk->topology(), false);
+      measure(mk->app_kernel(), mk->linux(), mk->topology(), false,
+              iterations);
 
   print_banner(std::cout,
                "Isolation: configured (cgroup) vs structural (multi-kernel)");
@@ -104,9 +110,21 @@ int main() {
              structural.max_noise_length.to_string(),
              TextTable::fmt_sci(structural.noise_rate, 2)});
   t.print(std::cout);
+  report.add_metric("cgroup_bound.max_noise_us", "us",
+                    bound.max_noise_length.to_us());
+  report.add_metric("cgroup_escaped.max_noise_us", "us",
+                    unbound.max_noise_length.to_us());
+  report.add_metric("multikernel.max_noise_us", "us",
+                    structural.max_noise_length.to_us());
+  report.add_metric("cgroup_bound.noise_rate", "ratio", bound.noise_rate);
+  report.add_metric("cgroup_escaped.noise_rate", "ratio",
+                    unbound.noise_rate);
+  report.add_metric("multikernel.noise_rate", "ratio",
+                    structural.noise_rate);
   std::cout << "\ncgroup isolation works only while the configuration is "
                "right; the\nmulti-kernel's partition is enforced by "
                "ownership — Linux cannot\nschedule anything on cores it "
                "does not manage (§1, §7).\n";
+  obs::maybe_write_report(report, opts);
   return 0;
 }

@@ -6,9 +6,12 @@
 
 #include "common/table.h"
 #include "hw/platform.h"
+#include "obs/bench_report.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hpcos;
+  const auto opts = obs::parse_bench_options(argc, argv);
+  obs::BenchReport report("bench_table1_platforms", opts.quick);
   const auto ofp = hw::make_ofp_platform();
   const auto fugaku = hw::make_fugaku_platform();
 
@@ -61,5 +64,17 @@ int main() {
   t.add_row({"Interconnect", to_string(ofp.interconnect),
              to_string(fugaku.interconnect)});
   t.print(std::cout);
+
+  report.add_metric("ofp.peak_pflops", "pflops", ofp.peak_pflops);
+  report.add_metric("fugaku.peak_pflops", "pflops", fugaku.peak_pflops);
+  report.add_metric("ofp.compute_nodes", "count",
+                    static_cast<double>(ofp.num_compute_nodes));
+  report.add_metric("fugaku.compute_nodes", "count",
+                    static_cast<double>(fugaku.num_compute_nodes));
+  report.add_metric("ofp.tlb_l2_entries", "count",
+                    static_cast<double>(ofp.tlb.l2_entries));
+  report.add_metric("fugaku.tlb_l2_entries", "count",
+                    static_cast<double>(fugaku.tlb.l2_entries));
+  obs::maybe_write_report(report, opts);
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "common/table.h"
 #include "noise/fwq.h"
 #include "noise/metrics.h"
+#include "obs/bench_report.h"
 
 namespace {
 
@@ -25,6 +26,7 @@ using namespace hpcos;
 
 struct Row {
   std::string label;
+  std::string slug;
   noise::Countermeasures cm;
   double paper_max_us;
   double paper_rate;
@@ -53,22 +55,29 @@ noise::NoiseStats measure(const noise::Countermeasures& cm, Seed seed,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using CM = noise::Countermeasures;
+  const auto opts = obs::parse_bench_options(argc, argv);
+  obs::BenchReport report("bench_table2_countermeasures", opts.quick, 42);
   const std::vector<Row> rows = {
-      {"None", CM{}, 50.44, 3.79e-6},
-      {"Daemon process", CM{.bind_daemons = false}, 20346.98, 9.94e-4},
-      {"Unbound kworker tasks", CM{.bind_kworkers = false}, 266.34, 4.58e-6},
-      {"blk-mq worker tasks", CM{.bind_blkmq = false}, 387.91, 4.58e-6},
-      {"PMU counter reads", CM{.stop_pmu_reads = false}, 103.09, 8.27e-6},
-      {"CPU-global flush instruction", CM{.suppress_global_tlbi = false},
-       90.2, 3.87e-6},
+      {"None", "none", CM{}, 50.44, 3.79e-6},
+      {"Daemon process", "daemon", CM{.bind_daemons = false}, 20346.98,
+       9.94e-4},
+      {"Unbound kworker tasks", "kworker", CM{.bind_kworkers = false},
+       266.34, 4.58e-6},
+      {"blk-mq worker tasks", "blkmq", CM{.bind_blkmq = false}, 387.91,
+       4.58e-6},
+      {"PMU counter reads", "pmu", CM{.stop_pmu_reads = false}, 103.09,
+       8.27e-6},
+      {"CPU-global flush instruction", "global_tlbi",
+       CM{.suppress_global_tlbi = false}, 90.2, 3.87e-6},
   };
 
   // 8 simulated nodes x ~200 s of FWQ per core keeps the DES tractable
   // while sampling each source's clamp region (the paper used 16 nodes).
-  const int kNodes = 8;
-  const std::uint64_t kIterations = 30'000;  // ~195 s per core
+  // Smoke mode shrinks to one node and a short series.
+  const int kNodes = opts.quick ? 1 : 8;
+  const std::uint64_t kIterations = opts.quick ? 1'000 : 30'000;
 
   print_banner(std::cout,
                "Table 2: Effectiveness of individual noise elimination "
@@ -82,9 +91,13 @@ int main() {
                TextTable::fmt_sci(stats.noise_rate, 2),
                TextTable::fmt(row.paper_max_us, 2),
                TextTable::fmt_sci(row.paper_rate, 2)});
+    report.add_metric(row.slug + ".max_noise_us", "us",
+                      stats.max_noise_length.to_us());
+    report.add_metric(row.slug + ".noise_rate", "ratio", stats.noise_rate);
     std::cout << "." << std::flush;
   }
   std::cout << "\n";
   t.print(std::cout);
+  obs::maybe_write_report(report, opts);
   return 0;
 }

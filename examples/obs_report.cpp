@@ -1,0 +1,166 @@
+// obs_report — cross-layer observability tour (ROADMAP: observability).
+//
+// Runs the same short campaign on a Linux node and a multi-kernel node
+// with the counter registry and the trace buffer enabled, then prints
+// what the instrumentation saw:
+//   * a ranked counter comparison (Linux vs multi-kernel, the Table 2
+//     presentation style applied to kernel-internal event counts),
+//   * the offload-path latency histograms (enqueue -> proxy wakeup ->
+//     execute -> reply, plus round trip),
+//   * a span report grouped by label, reconstructed from the trace
+//     buffer's span/parent ids,
+// and exports the multi-kernel node's trace as Chrome trace_event JSON
+// (load it at https://ui.perfetto.dev or chrome://tracing).
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "common/table.h"
+#include "noise/fwq.h"
+#include "obs/registry.h"
+#include "sim/chrome_trace.h"
+
+namespace {
+
+using namespace hpcos;
+
+// Issues a burst of syscalls: local clock reads interleaved with calls
+// McKernel must delegate to the Linux side (stat).
+struct SyscallBurst final : os::ThreadBody {
+  int remaining = 32;
+  void step(os::ThreadContext& ctx) override {
+    if (remaining-- <= 0) {
+      ctx.exit();
+      return;
+    }
+    ctx.invoke(remaining % 4 == 0 ? os::Syscall::kStat
+                                  : os::Syscall::kGetTimeOfDay,
+               {});
+  }
+};
+
+// One node's campaign: a syscall burst on the application kernel followed
+// by a short FWQ run on every application core.
+void run_campaign(cluster::SimNode& node) {
+  node.app_kernel().spawn(std::make_unique<SyscallBurst>(),
+                          os::SpawnAttrs{.name = "syscall-burst"});
+  node.simulator().run_until(SimTime::ms(50));
+  noise::FwqConfig fwq;
+  fwq.work_quantum = SimTime::from_ms(1);
+  fwq.iterations = 200;
+  noise::run_fwq(node.app_kernel(), node.topology().application_cores(),
+                 fwq);
+}
+
+}  // namespace
+
+int main() {
+  const auto platform = hw::make_fugaku_testbed_platform();
+
+  cluster::SimNodeOptions options;
+  options.seed = Seed{2021};
+  options.observability = true;
+  options.trace_capacity = 1 << 16;
+
+  auto linux_node = cluster::SimNode::make_linux_node(
+      platform, linuxk::make_fugaku_linux_config(platform), options);
+  auto mk_node = cluster::SimNode::make_multikernel_node(
+      platform, linuxk::make_fugaku_linux_config(platform),
+      mck::McKernelConfig::defaults(), options);
+
+  run_campaign(*linux_node);
+  run_campaign(*mk_node);
+
+  // ---- Ranked counter comparison -------------------------------------
+  const auto ls = linux_node->registry().snapshot();
+  const auto ms = mk_node->registry().snapshot();
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> merged;
+  for (const auto& c : ls.counters) merged[c.name].first = c.value;
+  for (const auto& c : ms.counters) merged[c.name].second = c.value;
+  std::vector<std::pair<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+      ranked(merged.begin(), merged.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return std::max(a.second.first, a.second.second) >
+                            std::max(b.second.first, b.second.second);
+                   });
+  print_banner(std::cout,
+               "Counter registry: Linux node vs multi-kernel node "
+               "(ranked by count)");
+  TextTable t({"counter", "Linux node", "multi-kernel node"});
+  t.set_align(0, Align::kLeft);
+  for (const auto& [name, values] : ranked) {
+    auto fmt = [](std::uint64_t v) {
+      return v == 0 ? std::string("-")
+                    : TextTable::fmt_int(static_cast<long long>(v));
+    };
+    t.add_row({name, fmt(values.first), fmt(values.second)});
+  }
+  t.print(std::cout);
+
+  // ---- Offload latency split -----------------------------------------
+  print_banner(std::cout,
+               "Syscall offload latency split (multi-kernel node)");
+  TextTable h({"histogram", "samples", "p50", "p99", "max"});
+  h.set_align(0, Align::kLeft);
+  for (const auto& e : ms.histograms) {
+    h.add_row({e.name, TextTable::fmt_int(static_cast<long long>(e.count)),
+               TextTable::fmt(e.p50, 2), TextTable::fmt(e.p99, 2),
+               TextTable::fmt(e.max, 2)});
+  }
+  h.print(std::cout);
+
+  // ---- Span report ----------------------------------------------------
+  const auto records = mk_node->trace().snapshot();
+  struct LabelStats {
+    std::uint64_t count = 0;
+    double total_us = 0.0;
+    std::uint64_t children = 0;
+  };
+  std::map<std::string, LabelStats> by_label;
+  std::uint64_t roots = 0;
+  for (const auto& r : records) {
+    if (r.span == 0) continue;  // unspanned event records
+    auto& s = by_label[r.label];
+    ++s.count;
+    s.total_us += r.duration.to_us();
+    if (r.parent != 0) {
+      ++s.children;
+    } else {
+      ++roots;
+    }
+  }
+  print_banner(std::cout, "Span report (trace buffer, grouped by label)");
+  std::cout << "trace records=" << records.size()
+            << "  dropped=" << mk_node->trace().dropped()
+            << "  root spans=" << roots << "\n";
+  std::vector<std::pair<std::string, LabelStats>> spans(by_label.begin(),
+                                                        by_label.end());
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.total_us > b.second.total_us;
+                   });
+  TextTable st({"span label", "count", "total (us)", "child spans"});
+  st.set_align(0, Align::kLeft);
+  for (const auto& [label, s] : spans) {
+    st.add_row({label, TextTable::fmt_int(static_cast<long long>(s.count)),
+                TextTable::fmt(s.total_us, 1),
+                TextTable::fmt_int(static_cast<long long>(s.children))});
+  }
+  st.print(std::cout);
+
+  // ---- Chrome trace export --------------------------------------------
+  const std::string path = "obs_report_trace.json";
+  sim::export_chrome_trace(
+      mk_node->trace(), path,
+      sim::ChromeTraceOptions{.pid = 1,
+                              .process_name = "multikernel-node"});
+  std::cout << "\nChrome trace written to " << path
+            << " — open it at https://ui.perfetto.dev (or chrome://tracing)"
+               "\nto see each offloaded syscall as a parent span over "
+               "marshal/IKC/proxy\nchild spans.\n";
+  return 0;
+}

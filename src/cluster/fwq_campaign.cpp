@@ -1,6 +1,7 @@
 #include "cluster/fwq_campaign.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -13,19 +14,47 @@ namespace {
 // then merged in shard order, so the floating-point summation order — and
 // therefore the result — is independent of the host thread count.
 struct ShardAccumulator {
-  explicit ShardAccumulator(const LogHistogram& layout) : cdf(layout) {}
+  ShardAccumulator(const LogHistogram& layout, std::size_t heap_capacity)
+      : cdf(layout), heap_capacity(heap_capacity) {
+    worst.reserve(heap_capacity);
+  }
 
   LogHistogram cdf;  // same binning as FwqCampaignResult::cdf
   double overhead_sum_us = 0.0;  // sum of (T_i - quantum) across everything
   SimTime min_time = SimTime::max();
   SimTime max_time = SimTime::zero();
   std::uint64_t iterations = 0;
+
+  // Bounded worst-node selection: a min-heap of the K largest per-node
+  // maxima seen by this shard. Replaces the old O(nodes) campaign-wide
+  // buffer; the global worst-N is selected from the shard heaps at merge
+  // time. Push/evict counts fold into the registry during the serial
+  // merge (the heap itself is shard-local, so no synchronization).
+  std::size_t heap_capacity;
+  std::vector<double> worst;  // min-heap (std::greater comparator)
+  std::uint64_t topk_pushes = 0;
+  std::uint64_t topk_evictions = 0;
+
+  void keep_worst(double node_max) {
+    ++topk_pushes;
+    if (heap_capacity == 0) return;
+    if (worst.size() < heap_capacity) {
+      worst.push_back(node_max);
+      std::push_heap(worst.begin(), worst.end(), std::greater<double>());
+      return;
+    }
+    ++topk_evictions;  // one value (incoming or previous min) is dropped
+    if (node_max <= worst.front()) return;
+    std::pop_heap(worst.begin(), worst.end(), std::greater<double>());
+    worst.back() = node_max;
+    std::push_heap(worst.begin(), worst.end(), std::greater<double>());
+  }
 };
 
 void simulate_node(const noise::AnalyticNoiseProfile& profile,
                    const FwqCampaignConfig& config,
                    std::uint64_t iters_per_node, RngStream node_rng,
-                   ShardAccumulator& acc, double& node_max_out) {
+                   ShardAccumulator& acc) {
   const double quantum_us = config.work_quantum.to_us();
   noise::AnalyticNodeSampler sampler(profile, config.app_cores,
                                      node_rng.split(0));
@@ -114,7 +143,7 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
 
   acc.max_time = std::max(acc.max_time, SimTime::from_us(node_max));
   acc.iterations += iters_per_node;
-  node_max_out = node_max;
+  acc.keep_worst(node_max);
 }
 
 }  // namespace
@@ -137,12 +166,17 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
 
   const auto num_shards = static_cast<std::size_t>(
       (config.nodes + config.nodes_per_shard - 1) / config.nodes_per_shard);
+  // Per-shard heap bound: worst_nodes_to_keep is the smallest capacity
+  // that keeps the global worst-N exact (any shard could own all N).
+  const auto heap_capacity = static_cast<std::size_t>(
+      config.worst_heap_capacity > 0 ? config.worst_heap_capacity
+                                     : std::max(config.worst_nodes_to_keep, 0));
   std::vector<ShardAccumulator> shards;
   shards.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
-    shards.emplace_back(result.cdf);  // copy of the (empty) target layout
+    shards.emplace_back(result.cdf,  // copy of the (empty) target layout
+                        heap_capacity);
   }
-  std::vector<double> node_max_us(static_cast<std::size_t>(config.nodes));
 
   const RngStream root(config.seed, 0xF80);
   parallel_for(
@@ -155,8 +189,7 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
             std::min(begin + config.nodes_per_shard, config.nodes);
         for (std::int64_t n = begin; n < end; ++n) {
           simulate_node(profile, config, iters_per_node,
-                        root.split(static_cast<std::uint64_t>(n)), acc,
-                        node_max_us[static_cast<std::size_t>(n)]);
+                        root.split(static_cast<std::uint64_t>(n)), acc);
         }
       },
       config.threads);
@@ -165,23 +198,41 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
   SimTime global_min = SimTime::max();
   SimTime global_max = SimTime::zero();
   double overhead_sum_us = 0.0;
+  std::vector<double> worst_candidates;
+  std::uint64_t topk_pushes = 0;
+  std::uint64_t topk_evictions = 0;
   for (const ShardAccumulator& acc : shards) {
     result.cdf.merge(acc.cdf);
     overhead_sum_us += acc.overhead_sum_us;
     global_min = std::min(global_min, acc.min_time);
     global_max = std::max(global_max, acc.max_time);
     result.total_iterations += acc.iterations;
+    worst_candidates.insert(worst_candidates.end(), acc.worst.begin(),
+                            acc.worst.end());
+    topk_pushes += acc.topk_pushes;
+    topk_evictions += acc.topk_evictions;
   }
 
-  // Worst-N node selection (what the paper persists to the PFS).
+  // Worst-N node selection (what the paper persists to the PFS), from at
+  // most num_shards * K candidates instead of O(nodes) buffered maxima.
   const auto keep = std::min<std::size_t>(
-      static_cast<std::size_t>(config.worst_nodes_to_keep),
-      node_max_us.size());
-  std::partial_sort(node_max_us.begin(),
-                    node_max_us.begin() + static_cast<std::ptrdiff_t>(keep),
-                    node_max_us.end(), std::greater<double>());
-  node_max_us.resize(keep);
-  result.worst_node_max_us = std::move(node_max_us);
+      static_cast<std::size_t>(std::max(config.worst_nodes_to_keep, 0)),
+      worst_candidates.size());
+  std::partial_sort(
+      worst_candidates.begin(),
+      worst_candidates.begin() + static_cast<std::ptrdiff_t>(keep),
+      worst_candidates.end(), std::greater<double>());
+  worst_candidates.resize(keep);
+  result.worst_node_max_us = std::move(worst_candidates);
+
+  if (config.registry != nullptr) {
+    config.registry->counter("fwq.campaign.nodes")
+        ->add(static_cast<std::uint64_t>(config.nodes));
+    config.registry->counter("fwq.campaign.iterations")
+        ->add(result.total_iterations);
+    config.registry->counter("fwq.topk.pushes")->add(topk_pushes);
+    config.registry->counter("fwq.topk.evictions")->add(topk_evictions);
+  }
 
   result.stats.t_min = global_min == SimTime::max() ? config.work_quantum
                                                     : global_min;

@@ -25,6 +25,7 @@
 #include "noise/analytic.h"
 #include "noise/fwq.h"
 #include "noise/metrics.h"
+#include "obs/registry.h"
 
 namespace hpcos::cluster {
 
@@ -49,6 +50,16 @@ struct FwqCampaignConfig {
   // count — define the floating-point summation order, which is what makes
   // the result independent of `threads`.
   std::int64_t nodes_per_shard = 64;
+  // Capacity K of each shard's bounded worst-node heap. The campaign never
+  // buffers O(nodes) per-node maxima: each shard keeps its K largest and
+  // the merge selects the global worst-N from those. 0 derives K from
+  // worst_nodes_to_keep (the smallest exact value); smaller explicit
+  // values trade exactness of the worst-N tail for memory.
+  int worst_heap_capacity = 0;
+  // Optional observability sink. Folded into serially after the parallel
+  // phase (fwq.campaign.nodes/.iterations, fwq.topk.pushes/.evictions) —
+  // shards count locally, the Registry stays single-writer.
+  obs::Registry* registry = nullptr;
   Seed seed{2021};
 };
 

@@ -10,6 +10,7 @@ SimNode::SimNode(hw::PlatformConfig platform, Options options)
       sim_(options.shared_simulator != nullptr ? options.shared_simulator
                                                : owned_sim_.get()),
       trace_(options.trace_capacity),
+      observability_(options.observability),
       seed_(options.seed) {}
 
 std::unique_ptr<SimNode> SimNode::make_linux_node(hw::PlatformConfig platform,
@@ -21,6 +22,7 @@ std::unique_ptr<SimNode> SimNode::make_linux_node(hw::PlatformConfig platform,
       *node->sim_, node->platform_.topology,
       node->platform_.topology.all_cores(), std::move(config), node->seed_,
       node->trace_.enabled() ? &node->trace_ : nullptr, &node->bus_);
+  if (node->observability_) node->linux_->set_registry(&node->registry_);
   node->linux_->boot();
   return node;
 }
@@ -62,6 +64,11 @@ std::unique_ptr<SimNode> SimNode::make_multikernel_node(
   node->offloader_ = std::make_unique<mck::SyscallOffloader>(
       *node->lwk_, *node->linux_, *inst.to_host, *inst.to_lwk,
       topo.system_cores());
+  if (node->observability_) {
+    node->linux_->set_registry(&node->registry_);
+    node->lwk_->set_registry(&node->registry_);
+    node->offloader_->set_registry(&node->registry_);  // + both IKC channels
+  }
   return node;
 }
 

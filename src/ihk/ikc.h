@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/sim_time.h"
+#include "obs/registry.h"
 #include "oskernel/syscall.h"
 #include "oskernel/types.h"
 #include "sim/simulator.h"
@@ -27,6 +28,15 @@ struct IkcMessage {
   os::SyscallResult result;
   bool is_reply = false;
   SimTime sent_at;
+
+  // Observability: the span id of the offload operation this message
+  // belongs to (0 when tracing is off) plus the path timestamps collected
+  // as the message crosses the stack. The reply handler reconstructs the
+  // whole round trip from these (see mckernel/offload.cpp).
+  std::uint64_t span = 0;
+  SimTime offload_start;       // LWK-side enqueue (before marshalling)
+  SimTime host_delivered_at;   // doorbell delivery on the Linux side
+  SimTime proxy_start;         // proxy thread began executing the call
 };
 
 class IkcChannel {
@@ -37,6 +47,11 @@ class IkcChannel {
 
   // Destination-side delivery callback; must be set before post().
   void set_receiver(Handler handler) { receiver_ = std::move(handler); }
+
+  // Register this channel's counters (ikc.<name>.posted / .delivered) and
+  // the queue-depth histogram (ikc.<name>.inflight, sampled at each post).
+  // Optional; the channel runs uninstrumented when never called.
+  void set_registry(obs::Registry* registry);
 
   // Enqueue a message; delivered (receiver invoked) after the channel
   // latency. Messages never reorder: delivery inherits the simulator's
@@ -56,6 +71,9 @@ class IkcChannel {
   std::uint64_t next_seq_ = 1;
   std::uint64_t posted_ = 0;
   std::uint64_t delivered_ = 0;
+  obs::Counter* posted_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
+  LogHistogram* inflight_hist_ = nullptr;
 };
 
 }  // namespace hpcos::ihk

@@ -99,6 +99,7 @@ void LinuxKernel::tick_fired(hw::CoreId core) {
   }
   const SimTime cost =
       ts.full ? costs().tick_duration : costs().residual_tick_duration;
+  obs::bump(tick_counter_);
   interrupt_core(core, cost, sim::TraceCategory::kTimerTick,
                  ts.full ? "tick" : "residual-tick");
   if (ts.full) {
@@ -123,9 +124,26 @@ void LinuxKernel::on_thread_enqueued(hw::CoreId core) {
 
 // ---- syscalls ----
 
+void LinuxKernel::set_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    syscall_counter_ = nullptr;
+    fault_counter_ = nullptr;
+    shootdown_counter_ = nullptr;
+    shootdown_ipi_counter_ = nullptr;
+    tick_counter_ = nullptr;
+    return;
+  }
+  syscall_counter_ = registry->counter("linux.syscalls");
+  fault_counter_ = registry->counter("linux.page_faults");
+  shootdown_counter_ = registry->counter("linux.tlb.shootdowns");
+  shootdown_ipi_counter_ = registry->counter("linux.tlb.shootdown_ipis");
+  tick_counter_ = registry->counter("linux.ticks");
+}
+
 os::NodeKernel::SyscallDisposition LinuxKernel::handle_syscall(
     os::Thread& thread, const os::SyscallRequest& req) {
   using S = os::Syscall;
+  obs::bump(syscall_counter_);
   switch (req.no) {
     case S::kMmap:
       return do_mmap(thread, req.args);
@@ -237,6 +255,7 @@ os::NodeKernel::SyscallDisposition LinuxKernel::do_mmap(
         per_fault.scaled(vnuma_.app_fault_factor()) *
         static_cast<std::int64_t>(faults);
     page_faults_ += faults;
+    obs::bump(fault_counter_, faults);
   }
   d.result.ok = true;
   d.result.value = static_cast<std::int64_t>(addr);
@@ -275,6 +294,7 @@ SimTime LinuxKernel::touch_memory(os::Pid pid, std::uint64_t addr,
   const std::uint64_t faults = proc.address_space.touch(addr, length);
   if (faults == 0) return SimTime::zero();
   page_faults_ += faults;
+  obs::bump(fault_counter_, faults);
   // Identify the page size of the touched area for fault pricing.
   auto it = proc.address_space.areas().upper_bound(addr);
   HPCOS_CHECK(it != proc.address_space.areas().begin());
@@ -292,6 +312,7 @@ SimTime LinuxKernel::tlb_shootdown(const os::Process& proc,
                                    std::uint64_t flushes) {
   if (flushes == 0) return SimTime::zero();
   ++shootdowns_;
+  obs::bump(shootdown_counter_);
 
   switch (config_.tlb_flush) {
     case TlbFlushMode::kBroadcastPatched:
@@ -322,6 +343,7 @@ SimTime LinuxKernel::tlb_shootdown(const os::Process& proc,
         if (t.state == os::ThreadState::kRunning && t.core != initiator) {
           interrupt_core(t.core, tlb_model_.ipi_shootdown_per_core(),
                          sim::TraceCategory::kTlbShootdown, "tlbi-ipi");
+          obs::bump(shootdown_ipi_counter_);
           ++victims;
         }
       }

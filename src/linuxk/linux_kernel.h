@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "noise/background.h"
+#include "obs/registry.h"
 #include "linuxk/cfs_scheduler.h"
 #include "linuxk/cgroup.h"
 #include "linuxk/config.h"
@@ -71,6 +72,11 @@ class LinuxKernel final : public os::NodeKernel {
   std::uint64_t total_page_faults() const { return page_faults_; }
   std::uint64_t total_tlb_shootdowns() const { return shootdowns_; }
 
+  // Register the Linux side's counters (linux.syscalls, linux.page_faults,
+  // linux.tlb.shootdowns, linux.tlb.shootdown_ipis, linux.ticks). nullptr
+  // detaches.
+  void set_registry(obs::Registry* registry);
+
  protected:
   os::Scheduler& sched() override { return cfs_; }
   SyscallDisposition handle_syscall(os::Thread& thread,
@@ -114,6 +120,12 @@ class LinuxKernel final : public os::NodeKernel {
 
   std::uint64_t page_faults_ = 0;
   std::uint64_t shootdowns_ = 0;
+
+  obs::Counter* syscall_counter_ = nullptr;
+  obs::Counter* fault_counter_ = nullptr;
+  obs::Counter* shootdown_counter_ = nullptr;
+  obs::Counter* shootdown_ipi_counter_ = nullptr;
+  obs::Counter* tick_counter_ = nullptr;
 };
 
 }  // namespace hpcos::linuxk

@@ -43,6 +43,7 @@ os::ThreadId LwkScheduler::pick_next(hw::CoreId core) {
   const os::ThreadId tid = q.front();
   q.pop_front();
   queued_on_.erase(tid);
+  obs::bump(dispatch_counter_);
   return tid;
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "hw/cpuset.h"
+#include "obs/registry.h"
 #include "oskernel/scheduler.h"
 
 namespace hpcos::mck {
@@ -30,7 +31,14 @@ class LwkScheduler final : public os::Scheduler {
   bool should_resched_on_tick(hw::CoreId core, os::Thread& running) override;
   void charge(os::Thread& thread, SimTime elapsed) override;
 
+  // Counts successful dispatches (lwk.sched.dispatches); set by McKernel
+  // when a registry is wired.
+  void set_dispatch_counter(obs::Counter* counter) {
+    dispatch_counter_ = counter;
+  }
+
  private:
+  obs::Counter* dispatch_counter_ = nullptr;
   hw::CpuSet owned_;
   std::vector<std::deque<os::ThreadId>> queues_;  // FIFO round robin
   std::unordered_map<os::ThreadId, hw::CoreId> queued_on_;

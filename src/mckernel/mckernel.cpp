@@ -44,6 +44,22 @@ void McKernel::boot() {
   background_->start();
 }
 
+void McKernel::set_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    local_counter_ = nullptr;
+    offload_counter_ = nullptr;
+    stag_counter_ = nullptr;
+    fault_counter_ = nullptr;
+    lwk_sched_.set_dispatch_counter(nullptr);
+    return;
+  }
+  local_counter_ = registry->counter("lwk.syscalls.local");
+  offload_counter_ = registry->counter("lwk.syscalls.offloaded");
+  stag_counter_ = registry->counter("lwk.stag.registrations");
+  fault_counter_ = registry->counter("lwk.page_faults");
+  lwk_sched_.set_dispatch_counter(registry->counter("lwk.sched.dispatches"));
+}
+
 bool McKernel::is_local_syscall(os::Syscall no) {
   using S = os::Syscall;
   switch (no) {
@@ -74,6 +90,8 @@ os::NodeKernel::SyscallDisposition McKernel::handle_syscall(
       (req.args.arg2 == kTofuRegisterStag ||
        req.args.arg2 == kTofuDeregisterStag)) {
     ++local_count_;
+    obs::bump(local_counter_);
+    if (req.args.arg2 == kTofuRegisterStag) obs::bump(stag_counter_);
     SyscallDisposition d;
     d.service_time = req.args.arg2 == kTofuRegisterStag
                          ? pico_.register_stag(req.args.arg1)
@@ -85,6 +103,7 @@ os::NodeKernel::SyscallDisposition McKernel::handle_syscall(
 
   if (!is_local_syscall(req.no)) {
     ++offload_count_;
+    obs::bump(offload_counter_);
     HPCOS_CHECK_MSG(offloader_ != nullptr,
                     "offloaded syscall without a proxy path: " +
                         to_string(req.no));
@@ -95,6 +114,7 @@ os::NodeKernel::SyscallDisposition McKernel::handle_syscall(
   }
 
   ++local_count_;
+  obs::bump(local_counter_);
   switch (req.no) {
     case S::kMmap:
       return do_mmap(thread, req.args);
@@ -195,6 +215,7 @@ SimTime McKernel::touch_memory(os::Pid pid, std::uint64_t addr,
   os::Process& proc = process(pid);
   const std::uint64_t faults = proc.address_space.touch(addr, length);
   if (faults == 0) return SimTime::zero();
+  obs::bump(fault_counter_, faults);
   return config_.page_fault_cost * static_cast<std::int64_t>(faults);
 }
 

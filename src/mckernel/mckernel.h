@@ -40,6 +40,11 @@ class McKernel final : public os::NodeKernel {
   // Wire the delegation path; without it, non-local syscalls fail hard.
   void set_offloader(SyscallOffloader* offloader) { offloader_ = offloader; }
 
+  // Register the LWK's counters (lwk.syscalls.local/.offloaded,
+  // lwk.stag.registrations, lwk.page_faults, lwk.sched.dispatches).
+  // nullptr detaches; hot paths keep exactly one branch either way.
+  void set_registry(obs::Registry* registry);
+
   const McKernelConfig& config() const { return config_; }
   PicoDriver& picodriver() { return pico_; }
 
@@ -82,6 +87,11 @@ class McKernel final : public os::NodeKernel {
   std::unordered_map<os::Pid, std::uint64_t> process_pool_;
   std::uint64_t local_count_ = 0;
   std::uint64_t offload_count_ = 0;
+
+  obs::Counter* local_counter_ = nullptr;
+  obs::Counter* offload_counter_ = nullptr;
+  obs::Counter* stag_counter_ = nullptr;
+  obs::Counter* fault_counter_ = nullptr;
 };
 
 }  // namespace hpcos::mck

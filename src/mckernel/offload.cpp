@@ -20,6 +20,7 @@ void ProxyBody::step(os::ThreadContext& ctx) {
   current_ = std::move(queue_.front());
   queue_.pop_front();
   phase_ = Phase::kExecuted;
+  current_->proxy_start = offloader_.now();
   ctx.invoke(current_->request.no, current_->request.args);
 }
 
@@ -39,15 +40,46 @@ SyscallOffloader::SyscallOffloader(McKernel& lwk, os::NodeKernel& host,
   lwk_.set_offloader(this);
 }
 
+void SyscallOffloader::set_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    requests_counter_ = nullptr;
+    replies_counter_ = nullptr;
+    wakeup_us_h_ = nullptr;
+    execute_us_h_ = nullptr;
+    reply_us_h_ = nullptr;
+    rtt_us_h_ = nullptr;
+    backlog_h_ = nullptr;
+  } else {
+    requests_counter_ = registry->counter("offload.requests");
+    replies_counter_ = registry->counter("offload.replies");
+    wakeup_us_h_ = registry->histogram("offload.wakeup_us", 0.1, 1e5, 48);
+    execute_us_h_ = registry->histogram("offload.execute_us", 0.1, 1e5, 48);
+    reply_us_h_ = registry->histogram("offload.reply_us", 0.1, 1e5, 48);
+    rtt_us_h_ = registry->histogram("offload.rtt_us", 0.1, 1e5, 48);
+    backlog_h_ =
+        registry->histogram("offload.proxy.backlog", 1.0, 1024.0, 24);
+  }
+  to_host_.set_registry(registry);
+  to_lwk_.set_registry(registry);
+}
+
 void SyscallOffloader::offload(os::ThreadId lwk_tid, os::Pid lwk_pid,
                                const os::SyscallRequest& request) {
   ++requests_;
-  request_start_[lwk_tid] = lwk_.simulator().now();
+  obs::bump(requests_counter_);
+  Pending pending;
+  pending.t0 = lwk_.simulator().now();
+  pending.core = lwk_.thread(lwk_tid).core;
+  sim::TraceBuffer* tb = lwk_.trace();
+  if (tb != nullptr && tb->enabled()) pending.span = tb->new_span();
+  pending_[lwk_tid] = pending;
 
   ihk::IkcMessage m;
   m.sender = lwk_tid;
   m.sender_pid = lwk_pid;
   m.request = request;
+  m.span = pending.span;
+  m.offload_start = pending.t0;
   // Marshalling on the LWK side happens before the doorbell rings.
   const SimTime marshal = lwk_.config().offload_marshal_cost;
   lwk_.simulator().schedule_after(
@@ -77,7 +109,10 @@ SyscallOffloader::Proxy& SyscallOffloader::ensure_proxy(os::Pid lwk_pid) {
 
 void SyscallOffloader::on_host_delivery(const ihk::IkcMessage& message) {
   Proxy& proxy = ensure_proxy(message.sender_pid);
-  proxy.body->enqueue(message);
+  ihk::IkcMessage stamped = message;
+  stamped.host_delivered_at = lwk_.simulator().now();
+  proxy.body->enqueue(std::move(stamped));
+  obs::observe(backlog_h_, static_cast<double>(proxy.body->backlog()));
   // Ring the proxy's doorbell if it is actually parked in FUTEX_WAIT. (It
   // may be Ready-but-not-dispatched after a previous wake, in which case
   // it will drain the queue on its own.)
@@ -91,15 +126,60 @@ void SyscallOffloader::on_host_delivery(const ihk::IkcMessage& message) {
 
 void SyscallOffloader::on_lwk_delivery(const ihk::IkcMessage& message) {
   ++replies_;
+  obs::bump(replies_counter_);
   os::SyscallResult result = message.result;
   result.path = os::SyscallResult::Path::kOffloaded;
-  if (auto it = request_start_.find(message.sender);
-      it != request_start_.end()) {
-    const SimTime rtt = lwk_.simulator().now() - it->second;
+  const SimTime reply_at = lwk_.simulator().now();
+  if (auto it = pending_.find(message.sender); it != pending_.end()) {
+    const Pending& pending = it->second;
+    const SimTime rtt = reply_at - pending.t0;
     roundtrip_us_.add(rtt.to_us());
-    request_start_.erase(it);
+    // Latency split: enqueue -> proxy starts executing -> reply posted ->
+    // reply delivered (the reply rides to_lwk_, so it was posted one
+    // channel latency ago).
+    const SimTime reply_posted = reply_at - to_lwk_.latency();
+    obs::observe(wakeup_us_h_, (message.proxy_start - pending.t0).to_us());
+    obs::observe(execute_us_h_,
+                 (reply_posted - message.proxy_start).to_us());
+    obs::observe(reply_us_h_, (reply_at - reply_posted).to_us());
+    obs::observe(rtt_us_h_, rtt.to_us());
+    if (pending.span != 0) record_offload_spans(pending, message, reply_at);
+    pending_.erase(it);
   }
   lwk_.complete_blocked_syscall(message.sender, result);
+}
+
+void SyscallOffloader::record_offload_spans(const Pending& pending,
+                                            const ihk::IkcMessage& message,
+                                            SimTime reply_at) {
+  sim::TraceBuffer* tb = lwk_.trace();
+  if (tb == nullptr || !tb->enabled()) return;
+  const SimTime marshal = lwk_.config().offload_marshal_cost;
+  const SimTime reply_posted = reply_at - to_lwk_.latency();
+  auto child = [&](SimTime start, SimTime duration, std::string label) {
+    tb->record(sim::TraceRecord{.time = start,
+                                .core = pending.core,
+                                .category = sim::TraceCategory::kSyscallOffload,
+                                .duration = duration,
+                                .label = std::move(label),
+                                .span = tb->new_span(),
+                                .parent = pending.span});
+  };
+  tb->record(sim::TraceRecord{.time = pending.t0,
+                              .core = pending.core,
+                              .category = sim::TraceCategory::kSyscallOffload,
+                              .duration = reply_at - pending.t0,
+                              .label = "offload:" + to_string(message.request.no),
+                              .span = pending.span,
+                              .parent = 0});
+  child(pending.t0, marshal, "offload:marshal");
+  child(message.host_delivered_at - to_host_.latency(), to_host_.latency(),
+        "ikc:to_host");
+  child(message.host_delivered_at,
+        message.proxy_start - message.host_delivered_at, "proxy:wakeup");
+  child(message.proxy_start, reply_posted - message.proxy_start,
+        "proxy:execute");
+  child(reply_posted, to_lwk_.latency(), "ikc:to_lwk");
 }
 
 }  // namespace hpcos::mck

@@ -18,6 +18,7 @@
 #include "common/stats.h"
 #include "ihk/ikc.h"
 #include "mckernel/mckernel.h"
+#include "obs/registry.h"
 
 namespace hpcos::mck {
 
@@ -63,6 +64,14 @@ class SyscallOffloader {
   // Proxy-side: ship a completed request's result back to the LWK.
   void send_reply(ihk::IkcMessage message);
 
+  // Register the offload path's counters and latency-split histograms
+  // (offload.requests/.replies, offload.{wakeup,execute,reply,rtt}_us,
+  // offload.proxy.backlog) and forward the registry to both IKC channels.
+  void set_registry(obs::Registry* registry);
+
+  // Current simulated time (proxy bodies stamp their execution start).
+  SimTime now() { return lwk_.simulator().now(); }
+
   std::uint64_t requests() const { return requests_; }
   std::uint64_t replies() const { return replies_; }
   // Round-trip latency (LWK block -> LWK wake) observed so far, in us.
@@ -74,9 +83,20 @@ class SyscallOffloader {
     os::ThreadId host_tid = os::kInvalidThread;
     ProxyBody* body = nullptr;  // owned by the host thread record
   };
+  // One in-flight offload per LWK thread (the thread blocks until the
+  // reply): its start time, issuing core, and root span id.
+  struct Pending {
+    SimTime t0;
+    hw::CoreId core = hw::kInvalidCore;
+    std::uint64_t span = 0;
+  };
   Proxy& ensure_proxy(os::Pid lwk_pid);
   void on_host_delivery(const ihk::IkcMessage& message);
   void on_lwk_delivery(const ihk::IkcMessage& message);
+  // Emit the round trip as a parent-linked span tree (root + marshal,
+  // both IKC hops, proxy wakeup and execute) into the LWK trace buffer.
+  void record_offload_spans(const Pending& pending,
+                            const ihk::IkcMessage& message, SimTime reply_at);
 
   McKernel& lwk_;
   os::NodeKernel& host_;
@@ -84,10 +104,18 @@ class SyscallOffloader {
   ihk::IkcChannel& to_lwk_;
   hw::CpuSet proxy_affinity_;
   std::unordered_map<os::Pid, Proxy> proxies_;
-  std::unordered_map<std::uint64_t, SimTime> request_start_;  // by sender tid
+  std::unordered_map<os::ThreadId, Pending> pending_;  // by sender tid
   std::uint64_t requests_ = 0;
   std::uint64_t replies_ = 0;
   OnlineStats roundtrip_us_;
+
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* replies_counter_ = nullptr;
+  LogHistogram* wakeup_us_h_ = nullptr;
+  LogHistogram* execute_us_h_ = nullptr;
+  LogHistogram* reply_us_h_ = nullptr;
+  LogHistogram* rtt_us_h_ = nullptr;
+  LogHistogram* backlog_h_ = nullptr;
 };
 
 }  // namespace hpcos::mck

@@ -1,0 +1,135 @@
+#include "obs/bench_report.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "common/parallel.h"
+
+namespace hpcos::obs {
+
+BenchReport::BenchReport(std::string bench_name, bool quick,
+                         std::uint64_t seed)
+    : bench_name_(std::move(bench_name)), quick_(quick), seed_(seed) {}
+
+void BenchReport::add_metric(const std::string& name, const std::string& unit,
+                             double value) {
+  add_metric(BenchMetric{.name = name, .unit = unit, .value = value});
+}
+
+void BenchReport::add_metric(BenchMetric metric) {
+  metrics_.push_back(std::move(metric));
+}
+
+JsonValue BenchReport::to_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", kBenchReportSchema);
+  doc.set("bench", bench_name_);
+  doc.set("quick", quick_);
+  doc.set("seed", static_cast<double>(seed_));
+  JsonValue platform = JsonValue::object();
+  platform.set("host_parallelism",
+               static_cast<std::uint64_t>(default_parallelism()));
+  doc.set("platform", std::move(platform));
+  JsonValue metrics = JsonValue::array();
+  for (const auto& m : metrics_) {
+    JsonValue metric = JsonValue::object();
+    metric.set("name", m.name);
+    metric.set("unit", m.unit);
+    metric.set("value", m.value);
+    if (!m.percentiles.empty()) {
+      JsonValue pct = JsonValue::object();
+      for (const auto& [k, v] : m.percentiles) pct.set(k, v);
+      metric.set("percentiles", std::move(pct));
+    }
+    metrics.push_back(std::move(metric));
+  }
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+void BenchReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open bench report path: " + path);
+  }
+  out << to_json().dump_pretty();
+  if (!out) {
+    throw std::runtime_error("write failed for bench report: " + path);
+  }
+}
+
+std::string validate_bench_report(const JsonValue& doc) {
+  if (!doc.is_object()) return "document is not a JSON object";
+  for (const char* key : {"schema", "bench", "quick", "seed", "metrics"}) {
+    if (!doc.contains(key)) return std::string("missing key \"") + key + "\"";
+  }
+  if (!doc.at("schema").is_string() ||
+      doc.at("schema").as_string() != kBenchReportSchema) {
+    return "schema is not \"" + std::string(kBenchReportSchema) + "\"";
+  }
+  if (!doc.at("bench").is_string() || doc.at("bench").as_string().empty()) {
+    return "bench name missing or empty";
+  }
+  if (!doc.at("quick").is_bool()) return "quick is not a bool";
+  if (!doc.at("metrics").is_array()) return "metrics is not an array";
+  const auto& metrics = doc.at("metrics").as_array();
+  if (metrics.empty()) return "metrics array is empty";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const auto& m = metrics[i];
+    const std::string where = "metrics[" + std::to_string(i) + "]";
+    if (!m.is_object()) return where + " is not an object";
+    for (const char* key : {"name", "unit", "value"}) {
+      if (!m.contains(key)) return where + " missing \"" + key + "\"";
+    }
+    if (!m.at("name").is_string() || m.at("name").as_string().empty()) {
+      return where + " name missing or empty";
+    }
+    if (!m.at("unit").is_string()) return where + " unit is not a string";
+    if (!m.at("value").is_number()) {
+      // NaN/Inf serialize as null (see json.cpp) — report it as such.
+      return where + " value is missing, NaN, or infinite";
+    }
+    if (!std::isfinite(m.at("value").as_number())) {
+      return where + " value is not finite";
+    }
+    if (const JsonValue* pct = m.find("percentiles"); pct != nullptr) {
+      if (!pct->is_object()) return where + " percentiles is not an object";
+      for (const auto& [k, v] : pct->members()) {
+        if (!v.is_number() || !std::isfinite(v.as_number())) {
+          return where + " percentile \"" + k + "\" is NaN or missing";
+        }
+      }
+    }
+  }
+  return {};
+}
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions opts;
+  if (argc > 0) opts.remaining.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--json requires a path argument\n";
+        std::exit(2);
+      }
+      opts.json_path = argv[++i];
+    } else {
+      opts.remaining.push_back(argv[i]);
+    }
+  }
+  return opts;
+}
+
+void maybe_write_report(const BenchReport& report, const BenchOptions& opts) {
+  if (opts.json_path.empty()) return;
+  report.write(opts.json_path);
+  std::cout << "[bench-report] wrote " << report.metric_count()
+            << " metrics to " << opts.json_path << "\n";
+}
+
+}  // namespace hpcos::obs

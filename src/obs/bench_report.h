@@ -1,0 +1,90 @@
+// Machine-readable benchmark results (the BENCH_*.json trajectory format).
+//
+// Every bench target (bench_fig*, bench_table*, bench_ablation*,
+// bench_isolation) keeps its human-readable tables on stdout and
+// additionally emits one BenchReport JSON document behind `--json <path>`.
+// The schema is deliberately small and stable so CI can regression-track
+// any metric across PRs:
+//
+//   {
+//     "schema":  "hpcos-bench-report/1",
+//     "bench":   "<target name>",
+//     "quick":   <bool>,               // --quick smoke mode?
+//     "seed":    <number>,             // 0 when the bench is seedless
+//     "platform": { "host_parallelism": <number> },
+//     "metrics": [
+//       { "name": "<dotted.metric.name>", "unit": "<unit>",
+//         "value": <finite number>,
+//         "percentiles": { "p50": ..., "p99": ... }   // optional
+//       }, ...
+//     ]
+//   }
+//
+// Validation (bench_smoke ctest job, tests/test_obs.cpp): required keys
+// present, schema string matches, metrics non-empty, every value finite.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace hpcos::obs {
+
+inline constexpr const char* kBenchReportSchema = "hpcos-bench-report/1";
+
+struct BenchMetric {
+  std::string name;
+  std::string unit;  // "ratio", "us", "ms", "count", "percent", ...
+  double value = 0.0;
+  // Optional percentile map ("p50" -> value); empty when not applicable.
+  std::map<std::string, double> percentiles;
+};
+
+class BenchReport {
+ public:
+  BenchReport(std::string bench_name, bool quick, std::uint64_t seed = 0);
+
+  void add_metric(const std::string& name, const std::string& unit,
+                  double value);
+  void add_metric(BenchMetric metric);
+
+  std::size_t metric_count() const { return metrics_.size(); }
+
+  JsonValue to_json() const;
+  // Write the pretty-printed document; throws std::runtime_error on I/O
+  // failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  bool quick_ = false;
+  std::uint64_t seed_ = 0;
+  std::vector<BenchMetric> metrics_;
+};
+
+// Schema validation of a parsed report. Returns an empty string when the
+// document is valid; otherwise a one-line description of the first
+// violation (missing key, wrong schema, empty metrics, non-finite value).
+std::string validate_bench_report(const JsonValue& doc);
+
+// Shared bench-target command line: every bench main() calls this first.
+//   --json <path>   emit a BenchReport to <path>
+//   --quick         shrink the run for the bench_smoke ctest job
+// Unknown arguments are left for the target to interpret (the google-
+// benchmark ablations forward the remainder to benchmark::Initialize).
+struct BenchOptions {
+  bool quick = false;
+  std::string json_path;
+  // argv with the recognized flags removed (argv[0] preserved).
+  std::vector<char*> remaining;
+};
+BenchOptions parse_bench_options(int argc, char** argv);
+
+// Emit the report when --json was given; prints a one-line confirmation
+// to stdout. No-op when json_path is empty.
+void maybe_write_report(const BenchReport& report, const BenchOptions& opts);
+
+}  // namespace hpcos::obs

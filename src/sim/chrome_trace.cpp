@@ -1,0 +1,117 @@
+#include "sim/chrome_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+
+namespace hpcos::sim {
+
+namespace {
+
+JsonValue event_to_json(const TraceRecord& rec, const ChromeTraceOptions& opt) {
+  JsonValue ev = JsonValue::object();
+  ev.set("name", rec.label.empty() ? to_string(rec.category) : rec.label);
+  ev.set("cat", to_string(rec.category));
+  const bool complete = rec.duration > SimTime::zero();
+  ev.set("ph", complete ? "X" : "i");
+  ev.set("ts", rec.time.to_us());
+  if (complete) ev.set("dur", rec.duration.to_us());
+  if (!complete) ev.set("s", "t");  // instant event scope: thread
+  ev.set("pid", opt.pid);
+  ev.set("tid", static_cast<std::int64_t>(rec.core));
+  JsonValue args = JsonValue::object();
+  if (rec.span != 0) args.set("span", rec.span);
+  if (rec.parent != 0) args.set("parent", rec.parent);
+  ev.set("args", std::move(args));
+  return ev;
+}
+
+}  // namespace
+
+JsonValue chrome_trace_document(const std::vector<TraceRecord>& records,
+                                const ChromeTraceOptions& options) {
+  std::vector<const TraceRecord*> ordered;
+  ordered.reserve(records.size());
+  for (const auto& r : records) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceRecord* a, const TraceRecord* b) {
+                     if (a->time != b->time) return a->time < b->time;
+                     return a->span < b->span;
+                   });
+
+  JsonValue events = JsonValue::array();
+  if (!options.process_name.empty()) {
+    JsonValue meta = JsonValue::object();
+    meta.set("name", "process_name");
+    meta.set("ph", "M");
+    meta.set("pid", options.pid);
+    meta.set("tid", std::uint64_t{0});
+    JsonValue args = JsonValue::object();
+    args.set("name", options.process_name);
+    meta.set("args", std::move(args));
+    events.push_back(std::move(meta));
+  }
+  for (const TraceRecord* rec : ordered) {
+    events.push_back(event_to_json(*rec, options));
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  return doc;
+}
+
+void export_chrome_trace(const std::vector<TraceRecord>& records,
+                         const std::string& path,
+                         const ChromeTraceOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace path: " + path);
+  out << chrome_trace_document(records, options).dump_pretty();
+  if (!out) throw std::runtime_error("write failed for trace: " + path);
+}
+
+void export_chrome_trace(const TraceBuffer& buffer, const std::string& path,
+                         const ChromeTraceOptions& options) {
+  export_chrome_trace(buffer.snapshot(), path, options);
+}
+
+std::string validate_chrome_trace(const JsonValue& doc) {
+  if (!doc.is_object()) return "document is not a JSON object";
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr) return "missing \"traceEvents\"";
+  if (!events->is_array()) return "\"traceEvents\" is not an array";
+  double last_ts = -std::numeric_limits<double>::infinity();
+  const auto& arr = events->as_array();
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const auto& ev = arr[i];
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (!ev.is_object()) return where + " is not an object";
+    for (const char* key : {"name", "ph", "pid"}) {
+      if (!ev.contains(key)) return where + " missing \"" + key + "\"";
+    }
+    if (!ev.at("ph").is_string()) return where + " ph is not a string";
+    const std::string& ph = ev.at("ph").as_string();
+    if (ph == "M") continue;  // metadata events carry no timestamp
+    for (const char* key : {"ts", "tid", "cat"}) {
+      if (!ev.contains(key)) return where + " missing \"" + key + "\"";
+    }
+    if (!ev.at("ts").is_number() || !std::isfinite(ev.at("ts").as_number())) {
+      return where + " ts is not a finite number";
+    }
+    const double ts = ev.at("ts").as_number();
+    if (ts < last_ts) return where + " ts is not monotonic";
+    last_ts = ts;
+    if (ph == "X") {
+      if (!ev.contains("dur") || !ev.at("dur").is_number() ||
+          !std::isfinite(ev.at("dur").as_number()) ||
+          ev.at("dur").as_number() < 0) {
+        return where + " complete event lacks a finite non-negative dur";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace hpcos::sim

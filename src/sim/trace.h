@@ -40,6 +40,14 @@ struct TraceRecord {
   TraceCategory category = TraceCategory::kUser;
   SimTime duration;      // zero for instantaneous markers
   std::string label;     // e.g. daemon name, syscall name
+
+  // Span identity: a multi-hop operation (an offloaded syscall crossing
+  // LWK -> IKC -> proxy -> IKC -> LWK) records one root span plus child
+  // spans carrying the root's id as `parent`, so analysis can rebuild the
+  // whole operation as a tree (and export it to Chrome trace_event JSON —
+  // see chrome_trace.h). 0 means "not part of a span tree".
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
 };
 
 class TraceBuffer {
@@ -50,6 +58,10 @@ class TraceBuffer {
 
   bool enabled() const { return capacity_ > 0; }
   void record(TraceRecord rec);
+
+  // Allocate a fresh span id (never 0). Ids are unique per buffer, which
+  // is the scope any one export covers.
+  std::uint64_t new_span() { return ++next_span_; }
 
   std::size_t size() const { return used_; }
   std::uint64_t total_recorded() const { return total_; }
@@ -74,6 +86,7 @@ class TraceBuffer {
   std::size_t head_ = 0;  // next write slot
   std::size_t used_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t next_span_ = 0;
 };
 
 }  // namespace hpcos::sim

@@ -1,0 +1,439 @@
+// Observability subsystem: registry snapshots, trace-buffer wraparound,
+// Chrome trace_event export, BenchReport schema, and the span-instrumented
+// offload path end to end.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cluster/fwq_campaign.h"
+#include "cluster/node.h"
+#include "noise/profiles.h"
+#include "obs/bench_report.h"
+#include "obs/registry.h"
+#include "sim/chrome_trace.h"
+#include "sim/trace.h"
+
+namespace hpcos {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(ObsRegistry, CounterAndHistogramRegistration) {
+  obs::Registry reg;
+  obs::Counter* c = reg.counter("a.b");
+  EXPECT_EQ(reg.counter("a.b"), c);  // find-or-create is stable
+  c->add();
+  c->add(3);
+  EXPECT_EQ(c->value(), 4u);
+  EXPECT_EQ(reg.find_counter("a.b")->value(), 4u);
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+
+  LogHistogram* h = reg.histogram("lat.us", 0.1, 1000.0, 32);
+  EXPECT_EQ(reg.histogram("lat.us", 0.5, 2.0, 4), h);  // first layout wins
+  h->add(10.0);
+  EXPECT_EQ(reg.counter_count(), 1u);
+  EXPECT_EQ(reg.histogram_count(), 1u);
+}
+
+TEST(ObsRegistry, BumpAndObserveAreNullSafe) {
+  obs::bump(nullptr);
+  obs::observe(nullptr, 1.0);  // must not crash: the "disabled" hot path
+  obs::Registry reg;
+  obs::Counter* c = reg.counter("x");
+  obs::bump(c, 2);
+  EXPECT_EQ(c->value(), 2u);
+}
+
+TEST(ObsRegistry, SnapshotDeltaIsolatesWindow) {
+  obs::Registry reg;
+  obs::Counter* c = reg.counter("events");
+  LogHistogram* h = reg.histogram("lat", 1.0, 100.0, 8);
+  c->add(5);
+  h->add(2.0);
+  const auto before = reg.snapshot();
+  c->add(7);
+  h->add(4.0);
+  h->add(8.0);
+  const auto after = reg.snapshot();
+  const auto delta = obs::Snapshot::delta(after, before);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].name, "events");
+  EXPECT_EQ(delta.counters[0].value, 7u);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].count, 2u);
+}
+
+// ------------------------------------------------------ trace wraparound
+
+sim::TraceRecord rec_at(std::int64_t us, sim::TraceCategory cat,
+                        const std::string& label) {
+  return sim::TraceRecord{.time = SimTime::us(us),
+                          .core = 0,
+                          .category = cat,
+                          .duration = SimTime::us(1),
+                          .label = label};
+}
+
+TEST(TraceBufferWrap, DroppedCountsEvictedRecords) {
+  sim::TraceBuffer buf(4);
+  for (int i = 0; i < 10; ++i) {
+    buf.record(rec_at(i, sim::TraceCategory::kUser, "r"));
+  }
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.total_recorded(), 10u);
+  EXPECT_EQ(buf.dropped(), 6u);
+}
+
+TEST(TraceBufferWrap, SnapshotStaysChronologicalAcrossWrap) {
+  sim::TraceBuffer buf(4);
+  for (int i = 0; i < 7; ++i) {
+    buf.record(rec_at(10 * i, sim::TraceCategory::kUser,
+                      std::to_string(i)));
+  }
+  const auto snap = buf.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest retained first: records 3..6.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].label, std::to_string(i + 3));
+    if (i > 0) {
+      EXPECT_GE(snap[i].time, snap[i - 1].time);
+    }
+  }
+}
+
+TEST(TraceBufferWrap, FilterSeesOnlyRetainedRecords) {
+  sim::TraceBuffer buf(6);
+  for (int i = 0; i < 12; ++i) {
+    buf.record(rec_at(i,
+                      i % 2 == 0 ? sim::TraceCategory::kIrq
+                                 : sim::TraceCategory::kDaemon,
+                      std::to_string(i)));
+  }
+  // Retained: 6..11, of which 6, 8, 10 are kIrq.
+  const auto irqs = buf.filter(sim::TraceCategory::kIrq);
+  ASSERT_EQ(irqs.size(), 3u);
+  EXPECT_EQ(irqs[0].label, "6");
+  EXPECT_EQ(irqs[2].label, "10");
+  const auto late = buf.filter(
+      [](const sim::TraceRecord& r) { return r.time >= SimTime::us(9); });
+  EXPECT_EQ(late.size(), 3u);
+}
+
+TEST(TraceBufferWrap, ClearKeepsSpanIdsUnique) {
+  sim::TraceBuffer buf(4);
+  const auto s1 = buf.new_span();
+  buf.record(rec_at(0, sim::TraceCategory::kUser, "a"));
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_NE(buf.new_span(), s1);  // ids never recycle within a buffer
+}
+
+// ------------------------------------------------------ chrome trace JSON
+
+std::vector<sim::TraceRecord> span_tree_records() {
+  std::vector<sim::TraceRecord> recs;
+  sim::TraceRecord root = rec_at(100, sim::TraceCategory::kSyscallOffload,
+                                 "offload:stat");
+  root.duration = SimTime::us(10);
+  root.span = 1;
+  recs.push_back(root);
+  sim::TraceRecord child = rec_at(102, sim::TraceCategory::kSyscall,
+                                  "proxy:execute");
+  child.duration = SimTime::us(5);
+  child.span = 2;
+  child.parent = 1;
+  recs.push_back(child);
+  sim::TraceRecord marker = rec_at(101, sim::TraceCategory::kIrq, "doorbell");
+  marker.duration = SimTime::zero();
+  recs.push_back(marker);
+  return recs;
+}
+
+TEST(ChromeTrace, DocumentHasRequiredKeysAndMonotonicTs) {
+  const auto doc = chrome_trace_document(
+      span_tree_records(),
+      sim::ChromeTraceOptions{.pid = 7, .process_name = "node0"});
+  EXPECT_EQ(sim::validate_chrome_trace(doc), "");
+  const auto& events = doc.at("traceEvents").as_array();
+  // 3 records + 1 process_name metadata event.
+  ASSERT_EQ(events.size(), 4u);
+  double last_ts = -1.0;
+  for (const auto& e : events) {
+    ASSERT_TRUE(e.contains("name"));
+    ASSERT_TRUE(e.contains("ph"));
+    ASSERT_TRUE(e.contains("pid"));
+    if (e.at("ph").as_string() == "M") continue;
+    ASSERT_TRUE(e.contains("ts"));
+    ASSERT_TRUE(e.contains("tid"));
+    ASSERT_TRUE(e.contains("cat"));
+    EXPECT_GE(e.at("ts").as_number(), last_ts);
+    last_ts = e.at("ts").as_number();
+  }
+}
+
+TEST(ChromeTrace, RoundTripsThroughSerialization) {
+  const auto doc = chrome_trace_document(span_tree_records());
+  const auto parsed = JsonValue::parse(doc.dump_pretty());
+  EXPECT_EQ(sim::validate_chrome_trace(parsed), "");
+  // The span/parent linkage must survive the round trip.
+  bool found_child = false;
+  for (const auto& e : parsed.at("traceEvents").as_array()) {
+    const JsonValue* args = e.find("args");
+    if (args != nullptr && args->contains("parent")) {
+      EXPECT_EQ(args->at("parent").as_number(), 1.0);
+      EXPECT_EQ(args->at("span").as_number(), 2.0);
+      found_child = true;
+    }
+  }
+  EXPECT_TRUE(found_child);
+}
+
+TEST(ChromeTrace, ValidatorRejectsMalformedDocuments) {
+  EXPECT_NE(sim::validate_chrome_trace(JsonValue::parse("{}")), "");
+  EXPECT_NE(sim::validate_chrome_trace(
+                JsonValue::parse(R"({"traceEvents": 3})")),
+            "");
+  // Non-monotonic ts.
+  const auto bad = JsonValue::parse(R"({"traceEvents": [
+    {"name":"a","ph":"X","pid":0,"tid":0,"cat":"user","ts":5.0,"dur":1.0},
+    {"name":"b","ph":"X","pid":0,"tid":0,"cat":"user","ts":2.0,"dur":1.0}
+  ]})");
+  EXPECT_NE(sim::validate_chrome_trace(bad), "");
+}
+
+TEST(ChromeTrace, ExportWritesLoadableFile) {
+  const std::string path = "test_obs_chrome_trace.json";
+  sim::export_chrome_trace(span_tree_records(), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_EQ(sim::validate_chrome_trace(JsonValue::parse(text.str())), "");
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- bench report
+
+TEST(BenchReport, RoundTripValidates) {
+  obs::BenchReport report("test_bench", /*quick=*/true, /*seed=*/99);
+  report.add_metric("alpha.p50_ms", "ms", 1.5);
+  report.add_metric(obs::BenchMetric{.name = "beta.rate",
+                                     .unit = "ratio",
+                                     .value = 0.25,
+                                     .percentiles = {{"p50", 0.2},
+                                                     {"p99", 0.9}}});
+  const std::string path = "test_obs_bench_report.json";
+  report.write(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  const auto doc = JsonValue::parse(text.str());
+  EXPECT_EQ(obs::validate_bench_report(doc), "");
+  EXPECT_EQ(doc.at("bench").as_string(), "test_bench");
+  EXPECT_TRUE(doc.at("quick").as_bool());
+  EXPECT_EQ(doc.at("seed").as_number(), 99.0);
+  EXPECT_EQ(doc.at("metrics").as_array().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, ValidatorRejectsNaNAndSchemaViolations) {
+  obs::BenchReport nan_report("nan_bench", false);
+  nan_report.add_metric("bad", "us", std::nan(""));
+  // Direct document: the value is a non-finite number.
+  EXPECT_NE(obs::validate_bench_report(nan_report.to_json()), "");
+  // After serialization NaN becomes null and still fails validation.
+  EXPECT_NE(obs::validate_bench_report(
+                JsonValue::parse(nan_report.to_json().dump())),
+            "");
+
+  obs::BenchReport empty("empty_bench", false);
+  EXPECT_NE(obs::validate_bench_report(empty.to_json()), "");
+  EXPECT_NE(obs::validate_bench_report(JsonValue::parse("{}")), "");
+}
+
+TEST(BenchReport, ParseBenchOptionsExtractsFlags) {
+  const char* argv_in[] = {"bench", "--quick", "--json", "out.json",
+                           "--benchmark_filter=x"};
+  auto** argv = const_cast<char**>(argv_in);
+  const auto opts = obs::parse_bench_options(5, argv);
+  EXPECT_TRUE(opts.quick);
+  EXPECT_EQ(opts.json_path, "out.json");
+  ASSERT_EQ(opts.remaining.size(), 2u);
+  EXPECT_STREQ(opts.remaining[0], "bench");
+  EXPECT_STREQ(opts.remaining[1], "--benchmark_filter=x");
+}
+
+// -------------------------------------- span-instrumented offload path
+
+TEST(OffloadSpans, OneOffloadedSyscallExportsAsParentLinkedTree) {
+  const auto platform = hw::make_fugaku_testbed_platform();
+  auto lcfg = linuxk::make_fugaku_linux_config(platform);
+  lcfg.profile = noise::AnalyticNoiseProfile{};
+  auto mcfg = mck::McKernelConfig::defaults();
+  mcfg.hw_noise = noise::AnalyticNoiseProfile{};
+  cluster::SimNodeOptions options;
+  options.seed = Seed{5};
+  options.observability = true;
+  options.trace_capacity = 1024;
+  auto node = cluster::SimNode::make_multikernel_node(
+      platform, std::move(lcfg), std::move(mcfg), options);
+
+  struct OneStat final : os::ThreadBody {
+    bool done = false;
+    void step(os::ThreadContext& ctx) override {
+      if (done) {
+        ctx.exit();
+        return;
+      }
+      done = true;
+      ctx.invoke(os::Syscall::kStat, {});
+    }
+  };
+  node->lwk()->spawn(std::make_unique<OneStat>(),
+                     os::SpawnAttrs{.name = "one-stat"});
+  node->simulator().run_until(SimTime::ms(100));
+
+  // Counters saw exactly one delegation.
+  EXPECT_EQ(node->registry().find_counter("offload.requests")->value(), 1u);
+  EXPECT_EQ(node->registry().find_counter("offload.replies")->value(), 1u);
+  EXPECT_EQ(
+      node->registry().find_counter("lwk.syscalls.offloaded")->value(), 1u);
+
+  // The trace holds one root span with >= 2 children (>= 3 spans total),
+  // every child linked to the root.
+  const auto spanned = node->trace().filter(
+      [](const sim::TraceRecord& r) { return r.span != 0; });
+  std::uint64_t root_span = 0;
+  std::size_t children = 0;
+  for (const auto& r : spanned) {
+    if (r.parent == 0) {
+      EXPECT_EQ(root_span, 0u) << "exactly one root span expected";
+      EXPECT_EQ(r.category, sim::TraceCategory::kSyscallOffload);
+      EXPECT_EQ(r.label, "offload:stat");
+      root_span = r.span;
+    }
+  }
+  ASSERT_NE(root_span, 0u);
+  for (const auto& r : spanned) {
+    if (r.parent != 0) {
+      EXPECT_EQ(r.parent, root_span);
+      ++children;
+    }
+  }
+  EXPECT_GE(children, 2u);
+  EXPECT_GE(spanned.size(), 3u);
+
+  // The whole tree exports as a valid Chrome trace document whose child
+  // events reference the root span id in args.
+  const auto doc = chrome_trace_document(spanned);
+  EXPECT_EQ(sim::validate_chrome_trace(doc), "");
+  std::size_t linked = 0;
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    const JsonValue* args = e.find("args");
+    if (args != nullptr && args->contains("parent") &&
+        args->at("parent").as_number() ==
+            static_cast<double>(root_span)) {
+      ++linked;
+    }
+  }
+  EXPECT_EQ(linked, children);
+
+  // The latency-split histograms cover the same delegation.
+  const auto snap = node->registry().snapshot();
+  bool saw_rtt = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "offload.rtt_us") {
+      saw_rtt = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_GT(h.max, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_rtt);
+}
+
+TEST(OffloadSpans, DisabledObservabilityRegistersNothing) {
+  const auto platform = hw::make_fugaku_testbed_platform();
+  auto node = cluster::SimNode::make_multikernel_node(
+      platform, linuxk::make_fugaku_linux_config(platform),
+      mck::McKernelConfig::defaults(), cluster::SimNodeOptions{.seed = Seed{5}});
+  node->simulator().run_until(SimTime::ms(5));
+  EXPECT_EQ(node->registry().counter_count(), 0u);
+  EXPECT_EQ(node->registry().histogram_count(), 0u);
+}
+
+// ------------------------------------------------- campaign top-K heaps
+
+cluster::FwqCampaignConfig small_campaign() {
+  cluster::FwqCampaignConfig cfg;
+  cfg.nodes = 96;
+  cfg.app_cores = 4;
+  cfg.duration_per_core = SimTime::sec(60);
+  cfg.nodes_per_shard = 16;
+  cfg.max_materialized_hits = 256;
+  cfg.seed = Seed{77};
+  return cfg;
+}
+
+TEST(FwqTopK, BoundedHeapsMatchUnboundedSelection) {
+  const auto profile = noise::ofp_linux_profile();
+  auto bounded = small_campaign();
+  bounded.worst_nodes_to_keep = 8;  // per-shard K derives from this
+  const auto b = run_fwq_campaign(profile, bounded);
+
+  auto unbounded = small_campaign();
+  unbounded.worst_nodes_to_keep = 8;
+  unbounded.worst_heap_capacity = 96;  // every node retained per shard
+  const auto u = run_fwq_campaign(profile, unbounded);
+
+  ASSERT_EQ(b.worst_node_max_us.size(), 8u);
+  EXPECT_EQ(b.worst_node_max_us, u.worst_node_max_us);
+  EXPECT_TRUE(std::is_sorted(b.worst_node_max_us.rbegin(),
+                             b.worst_node_max_us.rend()));
+}
+
+TEST(FwqTopK, WorstListInvariantAcrossShardGeometry) {
+  const auto profile = noise::ofp_linux_profile();
+  auto wide = small_campaign();
+  wide.worst_nodes_to_keep = 10;
+  wide.nodes_per_shard = 96;  // single shard
+  auto narrow = small_campaign();
+  narrow.worst_nodes_to_keep = 10;
+  narrow.nodes_per_shard = 8;  // twelve shards
+  const auto a = run_fwq_campaign(profile, wide);
+  const auto b = run_fwq_campaign(profile, narrow);
+  EXPECT_EQ(a.worst_node_max_us, b.worst_node_max_us);
+}
+
+TEST(FwqTopK, RegistryFoldsPushAndEvictionCounts) {
+  const auto profile = noise::ofp_linux_profile();
+  obs::Registry reg;
+  auto cfg = small_campaign();
+  cfg.worst_nodes_to_keep = 4;
+  cfg.registry = &reg;
+  const auto r = run_fwq_campaign(profile, cfg);
+  EXPECT_EQ(reg.find_counter("fwq.campaign.nodes")->value(), 96u);
+  EXPECT_EQ(reg.find_counter("fwq.campaign.iterations")->value(),
+            r.total_iterations);
+  // Every node pushes once; with K=4 per 16-node shard there must be
+  // evictions.
+  EXPECT_EQ(reg.find_counter("fwq.topk.pushes")->value(), 96u);
+  EXPECT_EQ(reg.find_counter("fwq.topk.evictions")->value(), 96u - 6u * 4u);
+}
+
+TEST(FwqTopK, SmallExplicitCapacityBoundsCandidates) {
+  const auto profile = noise::ofp_linux_profile();
+  auto cfg = small_campaign();
+  cfg.worst_nodes_to_keep = 50;
+  cfg.worst_heap_capacity = 2;  // 6 shards x 2 = 12 candidates max
+  const auto r = run_fwq_campaign(profile, cfg);
+  EXPECT_EQ(r.worst_node_max_us.size(), 12u);
+}
+
+}  // namespace
+}  // namespace hpcos
