@@ -9,15 +9,26 @@
 //     execute -> reply, plus round trip),
 //   * a span report grouped by label, reconstructed from the trace
 //     buffer's span/parent ids,
-// and exports the multi-kernel node's trace as Chrome trace_event JSON
-// (load it at https://ui.perfetto.dev or chrome://tracing).
+//   * page-fault / TLB-shootdown span trees from a prepopulated mmap +
+//     munmap phase (the demand-paging side of the Figure 5-7 costs),
+//   * collective-phase span trees from a BSP run (init + per-iteration
+//     compute / barrier / allreduce split on synthetic rank tracks),
+// and exports everything as ONE merged Chrome trace_event JSON document —
+// per-node pids plus named BSP rank tracks — validated structurally
+// before it is written (load it at https://ui.perfetto.dev).
 #include <algorithm>
+#include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cluster/bsp.h"
+#include "cluster/job_launcher.h"
 #include "cluster/node.h"
+#include "cluster/osenv.h"
 #include "common/table.h"
 #include "noise/fwq.h"
 #include "obs/registry.h"
@@ -42,17 +53,121 @@ struct SyscallBurst final : os::ThreadBody {
   }
 };
 
-// One node's campaign: a syscall burst on the application kernel followed
-// by a short FWQ run on every application core.
+// Memory phase: two prepopulated mmaps (a large-page region and a
+// base-page region, i.e. hugeTLB and bulk-"major" fault trees) followed by
+// a munmap of the large region (TLB-shootdown tree under the unmap root).
+struct MemoryPhase final : os::ThreadBody {
+  int stage = 0;
+  std::uint64_t large_addr = 0;
+  void step(os::ThreadContext& ctx) override {
+    switch (stage++) {
+      case 0:  // prefer_large bit set -> large pages where available
+        ctx.invoke(os::Syscall::kMmap,
+                   os::SyscallArgs{.arg0 = 64ull << 20, .arg1 = 1});
+        return;
+      case 1:
+        large_addr = static_cast<std::uint64_t>(ctx.last_syscall().value);
+        ctx.invoke(os::Syscall::kMmap, os::SyscallArgs{.arg0 = 4ull << 20});
+        return;
+      case 2:
+        ctx.invoke(os::Syscall::kMunmap,
+                   os::SyscallArgs{.arg0 = large_addr,
+                                   .arg1 = 64ull << 20});
+        return;
+      default:
+        ctx.exit();
+    }
+  }
+};
+
+// One node's campaign: a syscall burst on the application kernel, a
+// launcher-driven memory phase (the runtime's prepopulate + large-page
+// policy, so mmap faults in bulk), and a short FWQ run on every
+// application core.
 void run_campaign(cluster::SimNode& node) {
   node.app_kernel().spawn(std::make_unique<SyscallBurst>(),
                           os::SpawnAttrs{.name = "syscall-burst"});
   node.simulator().run_until(SimTime::ms(50));
+  cluster::JobLauncher launcher(node);
+  const auto job = launcher.launch(cluster::LaunchSpec{.ranks = 1});
+  launcher.spawn_rank_thread(job, 0, std::make_unique<MemoryPhase>(),
+                             "memory-phase");
+  node.simulator().run_until(SimTime::ms(100));
   noise::FwqConfig fwq;
   fwq.work_quantum = SimTime::from_ms(1);
   fwq.iterations = 200;
   noise::run_fwq(node.app_kernel(), node.topology().application_cores(),
                  fwq);
+}
+
+// Small BSP workload exercising every phase the engine traces: fault-in,
+// heap churn, imbalance, allreduce (reduce-scatter/allgather split), halo,
+// inter-node barrier.
+class MiniSolver final : public cluster::Workload {
+ public:
+  std::string name() const override { return "mini-solver"; }
+  int iterations() const override { return 4; }
+  cluster::RankWork rank_work(int, const cluster::JobConfig&,
+                              const cluster::OsEnvironment&) const override {
+    cluster::RankWork w;
+    w.compute = SimTime::from_ms(2);
+    w.working_set_bytes = 256ull << 20;
+    w.alloc_churn_bytes = 8ull << 20;
+    w.touch_bytes = 4ull << 20;
+    w.allreduces = 2;
+    w.allreduce_bytes = 4096;
+    w.halo_neighbors = 6;
+    w.halo_bytes = 128ull << 10;
+    w.barriers = 1;
+    w.thread_barriers = 4;
+    w.imbalance_sigma = 0.05;
+    return w;
+  }
+  cluster::InitWork init_work(const cluster::JobConfig&,
+                              const cluster::OsEnvironment&) const override {
+    cluster::InitWork init;
+    init.serial_setup = SimTime::from_ms(10);
+    init.touch_bytes = 64ull << 20;
+    init.rdma_registrations = 4;
+    init.rdma_bytes_each = 16ull << 20;
+    return init;
+  }
+};
+
+// Print parent-linked span trees whose root matches `is_root`, indenting
+// children under their parent (at most `max_roots` trees).
+void print_span_trees(
+    const std::vector<sim::TraceRecord>& records, const std::string& title,
+    const std::function<bool(const sim::TraceRecord&)>& is_root,
+    std::size_t max_roots) {
+  std::map<std::uint64_t, std::vector<const sim::TraceRecord*>> children;
+  for (const auto& r : records) {
+    if (r.parent != 0) children[r.parent].push_back(&r);
+  }
+  print_banner(std::cout, title);
+  std::function<void(const sim::TraceRecord&, int)> print_node =
+      [&](const sim::TraceRecord& r, int depth) {
+        std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+                  << r.label << "  [" << to_string(r.category) << "] "
+                  << TextTable::fmt(r.duration.to_us(), 2) << " us @ t="
+                  << TextTable::fmt(r.time.to_us(), 1) << " us\n";
+        const auto it = children.find(r.span);
+        if (it == children.end()) return;
+        for (const auto* c : it->second) print_node(*c, depth + 1);
+      };
+  std::size_t printed = 0;
+  std::size_t matched = 0;
+  for (const auto& r : records) {
+    if (r.span == 0 || r.parent != 0 || !is_root(r)) continue;
+    ++matched;
+    if (printed >= max_roots) continue;
+    ++printed;
+    print_node(r, 0);
+  }
+  if (matched > printed) {
+    std::cout << "(" << matched - printed << " more tree(s) elided)\n";
+  }
+  if (matched == 0) std::cout << "(no matching spans)\n";
 }
 
 }  // namespace
@@ -114,6 +229,7 @@ int main() {
   h.print(std::cout);
 
   // ---- Span report ----------------------------------------------------
+  const auto linux_records = linux_node->trace().snapshot();
   const auto records = mk_node->trace().snapshot();
   struct LabelStats {
     std::uint64_t count = 0;
@@ -152,15 +268,69 @@ int main() {
   }
   st.print(std::cout);
 
-  // ---- Chrome trace export --------------------------------------------
+  // ---- Page-fault / TLB-shootdown span trees --------------------------
+  const auto memory_root = [](const sim::TraceRecord& r) {
+    return r.label.rfind("fault:", 0) == 0 || r.label.rfind("unmap:", 0) == 0;
+  };
+  print_span_trees(linux_records,
+                   "Page-fault & unmap span trees (Linux node)",
+                   memory_root, 4);
+  print_span_trees(records,
+                   "Page-fault span trees (multi-kernel node)",
+                   memory_root, 4);
+
+  // ---- Collective / BSP phase span trees ------------------------------
+  sim::TraceBuffer bsp_trace(1 << 14);
+  MiniSolver solver;
+  const cluster::JobConfig bsp_job{.nodes = 64, .ranks_per_node = 4,
+                                   .threads_per_rank = 12};
+  const auto linux_env = cluster::make_fugaku_linux_env();
+  const auto mck_env = cluster::make_fugaku_mckernel_env();
+  cluster::BspEngine linux_engine(linux_env, bsp_job, Seed{7});
+  linux_engine.set_trace(&bsp_trace, /*track=*/0);
+  linux_engine.run(solver);
+  cluster::BspEngine mck_engine(mck_env, bsp_job, Seed{7});
+  mck_engine.set_trace(&bsp_trace, /*track=*/1);
+  mck_engine.run(solver);
+  const auto bsp_records = bsp_trace.snapshot();
+  print_span_trees(
+      bsp_records, "BSP collective-phase span trees (rank track 0 = Linux)",
+      [](const sim::TraceRecord& r) {
+        return r.core == 0 && r.label.rfind("bsp:", 0) == 0;
+      },
+      2);
+
+  // ---- Merged Chrome trace export -------------------------------------
+  std::vector<sim::ChromeTraceGroup> groups;
+  groups.push_back(
+      {linux_records,
+       sim::ChromeTraceOptions{.pid = 0, .process_name = "linux-node"}});
+  groups.push_back(
+      {records,
+       sim::ChromeTraceOptions{.pid = 1,
+                               .process_name = "multikernel-node"}});
+  groups.push_back(
+      {bsp_records,
+       sim::ChromeTraceOptions{
+           .pid = 2,
+           .process_name = "bsp-cluster",
+           .thread_names = {{0, "rank 0 (fugaku-linux)"},
+                            {1, "rank 0 (fugaku-mckernel)"}}}});
+  const JsonValue doc = sim::chrome_trace_document(groups);
+  if (const std::string err = sim::validate_chrome_trace(doc); !err.empty()) {
+    std::cerr << "merged Chrome trace failed validation: " << err << "\n";
+    return 1;
+  }
   const std::string path = "obs_report_trace.json";
-  sim::export_chrome_trace(
-      mk_node->trace(), path,
-      sim::ChromeTraceOptions{.pid = 1,
-                              .process_name = "multikernel-node"});
-  std::cout << "\nChrome trace written to " << path
-            << " — open it at https://ui.perfetto.dev (or chrome://tracing)"
-               "\nto see each offloaded syscall as a parent span over "
-               "marshal/IKC/proxy\nchild spans.\n";
+  std::ofstream out(path);
+  out << doc.dump_pretty() << "\n";
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  std::cout << "\nMerged Chrome trace (validated) written to " << path
+            << " — open it at\nhttps://ui.perfetto.dev: offloaded syscalls, "
+               "page-fault/TLB-shootdown trees\nand named BSP rank tracks "
+               "share one timeline across three pids.\n";
   return 0;
 }

@@ -37,6 +37,11 @@ BspEngine::BspEngine(const OsEnvironment& env, JobConfig job, Seed seed)
   HPCOS_CHECK(job_.ranks_per_node >= 1 && job_.threads_per_rank >= 1);
 }
 
+void BspEngine::set_trace(sim::TraceBuffer* trace, hw::CoreId track) {
+  trace_ = trace;
+  trace_track_ = track;
+}
+
 RunResult BspEngine::run(const Workload& workload) {
   RunResult r;
   r.workload = workload.name();
@@ -49,9 +54,31 @@ RunResult BspEngine::run(const Workload& workload) {
                             rng.split(1));
   const std::int64_t ranks = job_.total_ranks();
 
+  // Phase span recording. The engine is analytic — there is no simulator
+  // clock — so phases are laid out back to back on a virtual timeline
+  // starting at zero, which is exactly the per-rank time composition the
+  // result reports.
+  sim::TraceBuffer* tb = trace_;
+  const bool tracing = tb != nullptr && tb->enabled();
+  SimTime cursor = SimTime::zero();
+  auto span = [&](std::uint64_t parent, SimTime at, SimTime dur,
+                  std::string label,
+                  sim::TraceCategory cat) -> std::uint64_t {
+    const std::uint64_t id = tb->new_span();
+    tb->record(sim::TraceRecord{.time = at,
+                                .core = trace_track_,
+                                .category = cat,
+                                .duration = dur,
+                                .label = std::move(label),
+                                .span = id,
+                                .parent = parent});
+    return id;
+  };
+
   // ---- init phase ----
   const InitWork init = workload.init_work(job_, env_);
-  SimTime init_time = init.serial_setup + env_.fault_in(init.touch_bytes);
+  const SimTime init_fault = env_.fault_in(init.touch_bytes);
+  SimTime init_rdma = SimTime::zero();
   if (init.rdma_registrations > 0) {
     // Every rank performs its registrations serially; the job then
     // barriers, so init completes at the slowest rank's pace. The tail of
@@ -64,10 +91,28 @@ RunResult BspEngine::run(const Workload& workload) {
         static_cast<std::uint64_t>(ranks) *
             static_cast<std::uint64_t>(init.rdma_registrations),
         rng);
-    init_time += rank_median + (worst_single - median);
+    init_rdma = rank_median + (worst_single - median);
   }
-  init_time += collectives_.barrier(ranks);
+  const SimTime init_barrier = collectives_.barrier(ranks);
+  const SimTime init_time =
+      init.serial_setup + init_fault + init_rdma + init_barrier;
   r.init_time = init_time;
+  if (tracing) {
+    const std::uint64_t root = span(0, cursor, init_time, "bsp:init",
+                                    sim::TraceCategory::kCollective);
+    SimTime at = cursor;
+    auto phase = [&](SimTime dur, const char* label,
+                     sim::TraceCategory cat) {
+      if (dur > SimTime::zero()) span(root, at, dur, label, cat);
+      at += dur;
+    };
+    phase(init.serial_setup, "init:setup", sim::TraceCategory::kUser);
+    phase(init_fault, "init:fault-in", sim::TraceCategory::kPageFault);
+    phase(init_rdma, "init:rdma-register",
+          sim::TraceCategory::kCollective);
+    phase(init_barrier, "init:barrier", sim::TraceCategory::kCollective);
+  }
+  cursor += init_time;
 
   // ---- iteration loop ----
   const int iters = workload.iterations();
@@ -76,36 +121,39 @@ RunResult BspEngine::run(const Workload& workload) {
   for (int it = 0; it < iters; ++it) {
     const RankWork w = workload.rank_work(it, job_, env_);
 
-    SimTime rank_time = w.compute.scaled(env_.tlb_compute_factor(
+    const SimTime compute_time = w.compute.scaled(env_.tlb_compute_factor(
         w.working_set_bytes, w.mem_bound_fraction,
         w.large_page_coverage_hint));
-    rank_time += env_.fault_in(w.touch_bytes);
+    const SimTime fault_time = env_.fault_in(w.touch_bytes);
+    SimTime tbar_time = SimTime::zero();
     if (w.thread_barriers > 0) {
       // Intra-rank OpenMP synchronization; Fugaku's runtime drives the
       // A64FX hardware barrier (§4.1.5), other platforms use a software
       // tree. Identical across the OSes of one platform — both expose the
       // device — but part of the honest time composition.
       const hw::HwBarrier barrier(env_.platform.hw_barrier);
-      rank_time +=
+      tbar_time =
           barrier.barrier_cost(job_.threads_per_rank) * w.thread_barriers;
     }
 
     // Heap churn: medians paid by everyone; the slowest rank's tail adds
     // on top (the barrier waits for it).
+    SimTime churn_med = SimTime::zero();
     SimTime churn_extra = SimTime::zero();
     if (w.alloc_churn_bytes > 0) {
-      const SimTime med = env_.churn_median(w.alloc_churn_bytes);
-      rank_time += med;
+      churn_med = env_.churn_median(w.alloc_churn_bytes);
       noise::DurationDist churn_tail{
-          .median = med,
+          .median = churn_med,
           .sigma = env_.mem.churn_sigma,
           .min = SimTime::zero(),
-          .max = med.scaled(env_.mem.churn_max_factor)};
+          .max = churn_med.scaled(env_.mem.churn_max_factor)};
       churn_extra =
           churn_tail.sample_max(static_cast<std::uint64_t>(ranks), rng) -
-          med;
+          churn_med;
       if (churn_extra.is_negative()) churn_extra = SimTime::zero();
     }
+    const SimTime rank_time =
+        compute_time + fault_time + tbar_time + churn_med;
 
     // Compute imbalance across ranks (application property, OS-neutral).
     SimTime imbalance_extra = SimTime::zero();
@@ -124,23 +172,63 @@ RunResult BspEngine::run(const Workload& workload) {
     const SimTime noise_delay = noise.sample_global_delay(rank_time);
 
     // Communication.
-    SimTime comm = SimTime::zero();
+    SimTime allreduce_time = SimTime::zero();
+    SimTime halo_time = SimTime::zero();
+    SimTime barrier_time = SimTime::zero();
     if (w.allreduces > 0) {
-      comm += collectives_.allreduce(ranks, w.allreduce_bytes) *
-              w.allreduces;
+      allreduce_time =
+          collectives_.allreduce(ranks, w.allreduce_bytes) * w.allreduces;
     }
     if (w.halo_neighbors > 0) {
-      comm += net::Fabric(env_.fabric)
-                  .halo_exchange(w.halo_bytes, w.halo_neighbors);
+      halo_time = net::Fabric(env_.fabric)
+                      .halo_exchange(w.halo_bytes, w.halo_neighbors);
     }
     if (w.barriers > 0) {
-      comm += collectives_.barrier(ranks) * w.barriers;
+      barrier_time = collectives_.barrier(ranks) * w.barriers;
     }
+    const SimTime comm = allreduce_time + halo_time + barrier_time;
 
     const SimTime iter_time =
         rank_time + churn_extra + imbalance_extra + noise_delay + comm;
     r.iteration_times.push_back(iter_time);
     total += iter_time;
+
+    if (tracing) {
+      const std::uint64_t root = span(0, cursor, iter_time,
+                                      "bsp:iteration",
+                                      sim::TraceCategory::kCollective);
+      SimTime at = cursor;
+      auto phase = [&](SimTime dur, const char* label,
+                       sim::TraceCategory cat) -> std::uint64_t {
+        std::uint64_t id = 0;
+        if (dur > SimTime::zero()) id = span(root, at, dur, label, cat);
+        at += dur;
+        return id;
+      };
+      phase(compute_time, "bsp:compute", sim::TraceCategory::kUser);
+      phase(fault_time, "bsp:fault-in", sim::TraceCategory::kPageFault);
+      phase(tbar_time, "bsp:thread-barrier", sim::TraceCategory::kUser);
+      phase(churn_med, "bsp:heap-churn", sim::TraceCategory::kUser);
+      phase(churn_extra, "bsp:churn-tail", sim::TraceCategory::kUser);
+      phase(imbalance_extra, "bsp:imbalance", sim::TraceCategory::kUser);
+      phase(noise_delay, "bsp:noise-wait",
+            sim::TraceCategory::kScheduler);
+      const SimTime ar_at = at;
+      const std::uint64_t ar = phase(allreduce_time, "bsp:allreduce",
+                                     sim::TraceCategory::kCollective);
+      if (ar != 0) {
+        const auto split =
+            collectives_.allreduce_phases(ranks, w.allreduce_bytes);
+        const SimTime rs = split.reduce_scatter * w.allreduces;
+        span(ar, ar_at, rs, "allreduce:reduce-scatter",
+             sim::TraceCategory::kCollective);
+        span(ar, ar_at + rs, allreduce_time - rs, "allreduce:allgather",
+             sim::TraceCategory::kCollective);
+      }
+      phase(halo_time, "bsp:halo", sim::TraceCategory::kCollective);
+      phase(barrier_time, "bsp:barrier", sim::TraceCategory::kCollective);
+    }
+    cursor += iter_time;
   }
   r.total = total;
   return r;

@@ -21,6 +21,7 @@
 #include "cluster/osenv.h"
 #include "cluster/workload.h"
 #include "net/collectives.h"
+#include "sim/trace.h"
 
 namespace hpcos::cluster {
 
@@ -47,6 +48,13 @@ class BspEngine {
  public:
   BspEngine(const OsEnvironment& env, JobConfig job, Seed seed);
 
+  // Optional whole-run span recording: when set, run() writes one
+  // parent-linked phase tree per init/iteration (compute, fault-in,
+  // churn, noise-wait, allreduce split, halo, barrier) into `trace` on
+  // the synthetic timeline track `track` (used as the record's core id;
+  // exporters turn it into a named rank track). nullptr detaches.
+  void set_trace(sim::TraceBuffer* trace, hw::CoreId track = 0);
+
   RunResult run(const Workload& workload);
 
   // Expected fractional noise overhead for a given sync interval — the
@@ -59,6 +67,8 @@ class BspEngine {
   Seed seed_;
   net::Collectives collectives_;
   net::RdmaRegistrationModel rdma_;
+  sim::TraceBuffer* trace_ = nullptr;
+  hw::CoreId trace_track_ = 0;
 };
 
 // Convenience: mean relative performance of `env` vs `baseline` over

@@ -1,6 +1,7 @@
 #include "cluster/fwq_campaign.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "common/check.h"
@@ -91,27 +92,49 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
         static_cast<double>(config.duration_per_core.count_ns()) /
         interval_ns * processes;
     const std::uint64_t k = rng.poisson(hits_mean);
+    // Optional per-core jitter within a node-wide event: each core's share
+    // of the shared duration sample gets an independent lognormal
+    // (median 1) multiplier instead of stalling identically.
+    const double jitter_sigma = config.all_cores_jitter_sigma;
+    const bool jitter = s.scope == noise::SourceScope::kAllCores &&
+                        jitter_sigma > 0.0 && cores_per_hit > 1;
     // Cap the individually materialized hits; beyond the cap, fold the
     // remainder into bulk statistics via the distribution mean plus one
     // max draw (tail preserved, cost bounded).
     const std::uint64_t materialize =
         std::min<std::uint64_t>(k, config.max_materialized_hits);
     for (std::uint64_t i = 0; i < materialize; ++i) {
-      const double t_us = quantum_us + s.duration.sample(rng).to_us();
-      acc.cdf.add_n(t_us, cores_per_hit);
-      acc.overhead_sum_us +=
-          (t_us - quantum_us) * static_cast<double>(cores_per_hit);
-      node_max = std::max(node_max, t_us);
+      const double shared_us = s.duration.sample(rng).to_us();
+      if (jitter) {
+        for (std::uint64_t c = 0; c < cores_per_hit; ++c) {
+          const double t_us =
+              quantum_us + shared_us * rng.lognormal(0.0, jitter_sigma);
+          acc.cdf.add(t_us);
+          acc.overhead_sum_us += t_us - quantum_us;
+          node_max = std::max(node_max, t_us);
+        }
+      } else {
+        const double t_us = quantum_us + shared_us;
+        acc.cdf.add_n(t_us, cores_per_hit);
+        acc.overhead_sum_us +=
+            (t_us - quantum_us) * static_cast<double>(cores_per_hit);
+        node_max = std::max(node_max, t_us);
+      }
       hit_iterations += cores_per_hit;
     }
     if (k > materialize) {
       const std::uint64_t rest = k - materialize;
-      const double mean_us = s.duration.mean().to_us();
+      double mean_us = s.duration.mean().to_us();
+      // Jittered bulk: per-core durations scale by an independent
+      // lognormal factor with mean exp(sigma^2/2).
+      if (jitter) mean_us *= std::exp(0.5 * jitter_sigma * jitter_sigma);
       acc.cdf.add_n(quantum_us + mean_us, rest * cores_per_hit);
       acc.overhead_sum_us +=
           mean_us * static_cast<double>(rest * cores_per_hit);
-      const double tail_us =
-          quantum_us + s.duration.sample_max(rest, rng).to_us();
+      double tail_sample_us = s.duration.sample_max(rest, rng).to_us();
+      // The worst bulk hit's worst core also carries one jitter factor.
+      if (jitter) tail_sample_us *= rng.lognormal(0.0, jitter_sigma);
+      const double tail_us = quantum_us + tail_sample_us;
       node_max = std::max(node_max, tail_us);
       hit_iterations += rest * cores_per_hit;
     }

@@ -43,12 +43,24 @@ struct FwqCampaignConfig {
   // Cap on individually-materialized hits per (node, source); the rest
   // enters the histogram as a weighted bulk plus one max-of-k tail draw.
   std::uint64_t max_materialized_hits = 4096;
+  // Per-core duration jitter within a node-wide (kAllCores) noise event.
+  // 0 (default) keeps the historical model: one shared duration sample
+  // stalls every core identically. > 0 multiplies each core's share of a
+  // materialized hit by an independent lognormal(median=1, sigma) factor —
+  // closer to real collective OS activity, where cores enter/leave the
+  // event at slightly different times. Results remain deterministic for a
+  // fixed seed and independent of `threads` either way.
+  double all_cores_jitter_sigma = 0.0;
   // Host worker threads for the per-node loop: 0 = default_parallelism(),
   // 1 = serial.
   std::size_t threads = 0;
   // Nodes per accumulation shard. Shard boundaries — not the host thread
   // count — define the floating-point summation order, which is what makes
-  // the result independent of `threads`.
+  // the result independent of `threads`. The default of 64 comes from the
+  // bench_fig4 "nodes_per_shard sweep": it sits in the flat center of the
+  // merge-overhead vs scheduling-granularity curve (8..1024 measured), and
+  // at full Fugaku scale still yields ~2,500 shards — enough granularity
+  // for any plausible host pool while merge cost stays negligible.
   std::int64_t nodes_per_shard = 64;
   // Capacity K of each shard's bounded worst-node heap. The campaign never
   // buffers O(nodes) per-node maxima: each shard keeps its K largest and

@@ -251,11 +251,17 @@ os::NodeKernel::SyscallDisposition LinuxKernel::do_mmap(
     const SimTime per_fault = page == config_.base_page_size
                                   ? costs().page_fault_base
                                   : costs().page_fault_large;
-    d.service_time +=
+    const SimTime base_cost = per_fault * static_cast<std::int64_t>(faults);
+    const SimTime total_cost =
         per_fault.scaled(vnuma_.app_fault_factor()) *
         static_cast<std::int64_t>(faults);
+    d.service_time += total_cost;
     page_faults_ += faults;
     obs::bump(fault_counter_, faults);
+    record_fault_spans(thread.core,
+                       os::classify_fault(page, config_.base_page_size,
+                                          /*bulk_populate=*/true),
+                       faults, base_cost, total_cost - base_cost);
   }
   d.result.ok = true;
   d.result.value = static_cast<std::int64_t>(addr);
@@ -280,10 +286,33 @@ os::NodeKernel::SyscallDisposition LinuxKernel::do_munmap(
   }
 
   SyscallDisposition d;
-  d.service_time =
-      config_.syscalls.get(os::Syscall::kMunmap) +
+  const SimTime pages_cost =
       costs().unmap_per_page * static_cast<std::int64_t>(res.pages_released);
-  d.service_time += tlb_shootdown(proc, thread.core, res.tlb_flushes);
+  d.service_time = config_.syscalls.get(os::Syscall::kMunmap) + pages_cost;
+
+  // Root the shootdown subtree under an "unmap:munmap" span so the viewer
+  // shows the whole release (page teardown + TLB invalidation) as one tree.
+  sim::TraceBuffer* tb = trace();
+  const bool tracing = tb != nullptr && tb->enabled();
+  const std::uint64_t root = tracing ? tb->new_span() : 0;
+  const SimTime start = simulator().now();
+  d.service_time += tlb_shootdown(proc, thread.core, res.tlb_flushes, root);
+  if (tracing) {
+    tb->record(sim::TraceRecord{.time = start,
+                                .core = thread.core,
+                                .category = sim::TraceCategory::kSyscall,
+                                .duration = d.service_time,
+                                .label = "unmap:munmap",
+                                .span = root,
+                                .parent = 0});
+    tb->record(sim::TraceRecord{.time = start,
+                                .core = thread.core,
+                                .category = sim::TraceCategory::kSyscall,
+                                .duration = pages_cost,
+                                .label = "unmap:pages",
+                                .span = tb->new_span(),
+                                .parent = root});
+  }
   d.result.ok = true;
   return d;
 }
@@ -291,38 +320,85 @@ os::NodeKernel::SyscallDisposition LinuxKernel::do_munmap(
 SimTime LinuxKernel::touch_memory(os::Pid pid, std::uint64_t addr,
                                   std::uint64_t length) {
   os::Process& proc = process(pid);
-  const std::uint64_t faults = proc.address_space.touch(addr, length);
-  if (faults == 0) return SimTime::zero();
-  page_faults_ += faults;
-  obs::bump(fault_counter_, faults);
-  // Identify the page size of the touched area for fault pricing.
-  auto it = proc.address_space.areas().upper_bound(addr);
-  HPCOS_CHECK(it != proc.address_space.areas().begin());
-  --it;
-  const hw::PageSize page = it->second.page_size;
-  const SimTime per_fault = page == config_.base_page_size
+  const os::FaultBatch batch = proc.address_space.touch_batch(addr, length);
+  if (batch.faults == 0) return SimTime::zero();
+  page_faults_ += batch.faults;
+  obs::bump(fault_counter_, batch.faults);
+  const SimTime per_fault = batch.page_size == config_.base_page_size
                                 ? costs().page_fault_base
                                 : costs().page_fault_large;
-  return per_fault.scaled(vnuma_.app_fault_factor()) *
-         static_cast<std::int64_t>(faults);
+  const SimTime base_cost =
+      per_fault * static_cast<std::int64_t>(batch.faults);
+  const SimTime total_cost =
+      per_fault.scaled(vnuma_.app_fault_factor()) *
+      static_cast<std::int64_t>(batch.faults);
+  record_fault_spans(hw::kInvalidCore,
+                     os::classify_fault(batch.page_size,
+                                        config_.base_page_size,
+                                        /*bulk_populate=*/false),
+                     batch.faults, base_cost, total_cost - base_cost);
+  return total_cost;
+}
+
+std::uint64_t LinuxKernel::record_fault_spans(hw::CoreId core,
+                                              os::FaultKind kind,
+                                              std::uint64_t faults,
+                                              SimTime base_cost,
+                                              SimTime vnuma_extra,
+                                              std::uint64_t parent) {
+  sim::TraceBuffer* tb = trace();
+  if (tb == nullptr || !tb->enabled() || faults == 0) return 0;
+  const SimTime start = simulator().now();
+  const std::uint64_t root = tb->new_span();
+  tb->record(sim::TraceRecord{.time = start,
+                              .core = core,
+                              .category = sim::TraceCategory::kPageFault,
+                              .duration = base_cost + vnuma_extra,
+                              .label = "fault:" + os::to_string(kind),
+                              .span = root,
+                              .parent = parent});
+  tb->record(sim::TraceRecord{.time = start,
+                              .core = core,
+                              .category = sim::TraceCategory::kPageFault,
+                              .duration = base_cost,
+                              .label = "fault:populate",
+                              .span = tb->new_span(),
+                              .parent = root});
+  if (vnuma_extra > SimTime::zero()) {
+    tb->record(sim::TraceRecord{.time = start + base_cost,
+                                .core = core,
+                                .category = sim::TraceCategory::kPageFault,
+                                .duration = vnuma_extra,
+                                .label = "fault:vnuma-remote",
+                                .span = tb->new_span(),
+                                .parent = root});
+  }
+  return root;
 }
 
 SimTime LinuxKernel::tlb_shootdown(const os::Process& proc,
                                    hw::CoreId initiator,
-                                   std::uint64_t flushes) {
+                                   std::uint64_t flushes,
+                                   std::uint64_t parent_span) {
   if (flushes == 0) return SimTime::zero();
   ++shootdowns_;
   obs::bump(shootdown_counter_);
+
+  SimTime local_cost = SimTime::zero();
+  SimTime victim_stall = SimTime::zero();  // per-victim broadcast penalty
+  SimTime ipi_wait = SimTime::zero();      // initiator ack busy-wait
+  int ipi_victims = 0;
 
   switch (config_.tlb_flush) {
     case TlbFlushMode::kBroadcastPatched:
       if (proc.single_core()) {
         // RHEL 8.2 fix: single-core mms flush locally, nothing broadcast.
-        return tlb_model_.local_flush(flushes);
+        local_cost = tlb_model_.local_flush(flushes);
+        break;
       }
       [[fallthrough]];
     case TlbFlushMode::kBroadcast: {
-      const SimTime victim_stall = tlb_model_.broadcast_stall(flushes);
+      victim_stall = tlb_model_.broadcast_stall(flushes);
       if (stall_bus_ != nullptr) {
         stall_bus_->broadcast_stall(initiator, victim_stall,
                                     sim::TraceCategory::kTlbShootdown,
@@ -332,28 +408,63 @@ SimTime LinuxKernel::tlb_shootdown(const os::Process& proc,
                                sim::TraceCategory::kTlbShootdown,
                                "tlbi-bcast");
       }
-      return tlb_model_.local_flush(flushes);
+      local_cost = tlb_model_.local_flush(flushes);
+      break;
     }
     case TlbFlushMode::kIpi: {
       // x86 path: interrupt every core currently running another thread of
       // this mm; the initiator busy-waits for acknowledgements.
-      int victims = 0;
       for (os::ThreadId tid : proc.threads) {
         const os::Thread& t = thread(tid);
         if (t.state == os::ThreadState::kRunning && t.core != initiator) {
           interrupt_core(t.core, tlb_model_.ipi_shootdown_per_core(),
                          sim::TraceCategory::kTlbShootdown, "tlbi-ipi");
           obs::bump(shootdown_ipi_counter_);
-          ++victims;
+          ++ipi_victims;
         }
       }
-      SimTime cost = tlb_model_.local_flush(std::min<std::uint64_t>(
+      local_cost = tlb_model_.local_flush(std::min<std::uint64_t>(
           flushes, 64));  // range flush caps at full-TLB invalidate
-      if (victims > 0) cost += tlb_model_.ipi_shootdown_per_core();
-      return cost;
+      if (ipi_victims > 0) ipi_wait = tlb_model_.ipi_shootdown_per_core();
+      break;
     }
   }
-  return SimTime::zero();
+
+  const SimTime cost = local_cost + ipi_wait;
+  sim::TraceBuffer* tb = trace();
+  if (tb != nullptr && tb->enabled()) {
+    const SimTime start = simulator().now();
+    const std::uint64_t root = tb->new_span();
+    auto child = [&](SimTime at, SimTime duration, std::string label) {
+      tb->record(sim::TraceRecord{.time = at,
+                                  .core = initiator,
+                                  .category =
+                                      sim::TraceCategory::kTlbShootdown,
+                                  .duration = duration,
+                                  .label = std::move(label),
+                                  .span = tb->new_span(),
+                                  .parent = root});
+    };
+    tb->record(sim::TraceRecord{.time = start,
+                                .core = initiator,
+                                .category = sim::TraceCategory::kTlbShootdown,
+                                .duration = cost,
+                                .label = "tlb:shootdown",
+                                .span = root,
+                                .parent = parent_span});
+    child(start, local_cost, "tlb:local-flush");
+    if (victim_stall > SimTime::zero()) {
+      // The concurrent stall every other core eats while the initiator
+      // issues its flush loop (recorded on the initiator track; the victim
+      // side shows up as the usual tlbi-bcast stall records).
+      child(start, victim_stall, "tlb:victim-stall");
+    }
+    if (ipi_victims > 0) {
+      child(start + local_cost, ipi_wait,
+            "tlb:ipi-wait x" + std::to_string(ipi_victims));
+    }
+  }
+  return cost;
 }
 
 void LinuxKernel::send_signal(os::ThreadId target) {

@@ -61,8 +61,10 @@ class LinuxKernel final : public os::NodeKernel {
   // Remote-TLB invalidation for `flushes` page invalidations by `proc`
   // initiated from `initiator`. Returns the initiator-side cost; victim
   // cores are stalled/interrupted as a side effect per the flush mode.
+  // When tracing, records a "tlb:shootdown" span tree (local flush plus
+  // victim-stall or IPI children), parented under `parent_span` if nonzero.
   SimTime tlb_shootdown(const os::Process& proc, hw::CoreId initiator,
-                        std::uint64_t flushes);
+                        std::uint64_t flushes, std::uint64_t parent_span = 0);
 
   // POSIX signal delivery (kill): wakes blocked targets with EINTR,
   // interrupts running ones (signal-frame setup on their core).
@@ -100,6 +102,14 @@ class LinuxKernel final : public os::NodeKernel {
   SyscallDisposition do_mmap(os::Thread& thread, const os::SyscallArgs& args);
   SyscallDisposition do_munmap(os::Thread& thread,
                                const os::SyscallArgs& args);
+
+  // Record a "fault:<kind>" span with populate / vnuma-remote children for
+  // a batch of `faults` page faults. Returns the root span id (0 when
+  // tracing is off or the batch is empty).
+  std::uint64_t record_fault_spans(hw::CoreId core, os::FaultKind kind,
+                                   std::uint64_t faults, SimTime base_cost,
+                                   SimTime vnuma_extra,
+                                   std::uint64_t parent = 0);
 
   LinuxConfig config_;
   CfsScheduler cfs_;

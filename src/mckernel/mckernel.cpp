@@ -5,6 +5,18 @@
 #include "noise/profiles.h"
 
 namespace hpcos::mck {
+namespace {
+
+// Fault classification on the LWK: k4K/k64K are first-level ("base") page
+// sizes; anything larger takes the large-page path (hugeTLB-equivalent).
+os::FaultKind lwk_fault_kind(hw::PageSize page, bool bulk_populate) {
+  const bool base =
+      page == hw::PageSize::k4K || page == hw::PageSize::k64K;
+  return os::classify_fault(page, base ? page : hw::PageSize::k64K,
+                            bulk_populate);
+}
+
+}  // namespace
 
 McKernelConfig McKernelConfig::defaults() {
   McKernelConfig c;
@@ -178,6 +190,18 @@ os::NodeKernel::SyscallDisposition McKernel::do_mmap(
     pool -= length;
     const std::uint64_t addr =
         proc.address_space.map(length, page, os::PagingPolicy::kPrePopulate);
+    // Zero-cost remap of retained memory: mark it in the trace so the
+    // viewer shows why the LWK side has no fault storm here.
+    sim::TraceBuffer* tb = trace();
+    if (tb != nullptr && tb->enabled()) {
+      tb->record(sim::TraceRecord{.time = simulator().now(),
+                                  .core = thread.core,
+                                  .category = sim::TraceCategory::kPageFault,
+                                  .duration = SimTime::zero(),
+                                  .label = "fault:pool-reuse",
+                                  .span = tb->new_span(),
+                                  .parent = 0});
+    }
     d.result.value = static_cast<std::int64_t>(addr);
     return d;
   }
@@ -186,8 +210,12 @@ os::NodeKernel::SyscallDisposition McKernel::do_mmap(
       proc.address_space.map(length, page, proc.attrs.paging);
   if (proc.attrs.paging == os::PagingPolicy::kPrePopulate) {
     const auto it = proc.address_space.areas().find(addr);
-    d.service_time += config_.page_fault_cost *
-                      static_cast<std::int64_t>(it->second.populated_pages);
+    const std::uint64_t faults = it->second.populated_pages;
+    const SimTime cost =
+        config_.page_fault_cost * static_cast<std::int64_t>(faults);
+    d.service_time += cost;
+    record_fault_spans(thread.core, lwk_fault_kind(page, /*bulk=*/true),
+                       faults, cost);
   }
   d.result.value = static_cast<std::int64_t>(addr);
   return d;
@@ -213,10 +241,37 @@ os::NodeKernel::SyscallDisposition McKernel::do_munmap(
 SimTime McKernel::touch_memory(os::Pid pid, std::uint64_t addr,
                                std::uint64_t length) {
   os::Process& proc = process(pid);
-  const std::uint64_t faults = proc.address_space.touch(addr, length);
-  if (faults == 0) return SimTime::zero();
-  obs::bump(fault_counter_, faults);
-  return config_.page_fault_cost * static_cast<std::int64_t>(faults);
+  const os::FaultBatch batch = proc.address_space.touch_batch(addr, length);
+  if (batch.faults == 0) return SimTime::zero();
+  obs::bump(fault_counter_, batch.faults);
+  const SimTime cost =
+      config_.page_fault_cost * static_cast<std::int64_t>(batch.faults);
+  record_fault_spans(hw::kInvalidCore,
+                     lwk_fault_kind(batch.page_size, /*bulk=*/false),
+                     batch.faults, cost);
+  return cost;
+}
+
+void McKernel::record_fault_spans(hw::CoreId core, os::FaultKind kind,
+                                  std::uint64_t faults, SimTime cost) {
+  sim::TraceBuffer* tb = trace();
+  if (tb == nullptr || !tb->enabled() || faults == 0) return;
+  const SimTime start = simulator().now();
+  const std::uint64_t root = tb->new_span();
+  tb->record(sim::TraceRecord{.time = start,
+                              .core = core,
+                              .category = sim::TraceCategory::kPageFault,
+                              .duration = cost,
+                              .label = "fault:" + os::to_string(kind),
+                              .span = root,
+                              .parent = 0});
+  tb->record(sim::TraceRecord{.time = start,
+                              .core = core,
+                              .category = sim::TraceCategory::kPageFault,
+                              .duration = cost,
+                              .label = "fault:populate",
+                              .span = tb->new_span(),
+                              .parent = root});
 }
 
 void McKernel::send_signal(os::ThreadId target) {

@@ -76,6 +76,11 @@ class McKernel final : public os::NodeKernel {
   SyscallDisposition do_munmap(os::Thread& thread,
                                const os::SyscallArgs& args);
 
+  // Record a "fault:<kind>" span with a populate child for `faults` page
+  // faults costing `cost` in total. No-op without an enabled trace.
+  void record_fault_spans(hw::CoreId core, os::FaultKind kind,
+                          std::uint64_t faults, SimTime cost);
+
   McKernelConfig config_;
   LwkScheduler lwk_sched_;
   PicoDriver pico_;

@@ -39,6 +39,17 @@ SimTime Collectives::allreduce(std::int64_t ranks,
          round_cost(0);
 }
 
+Collectives::AllreducePhases Collectives::allreduce_phases(
+    std::int64_t ranks, std::uint64_t bytes) const {
+  AllreducePhases p;
+  if (ranks <= 1) return p;
+  const int rounds = log2_ceil(ranks);
+  const SimTime bw_term = round_cost(2 * bytes) - round_cost(0);
+  p.reduce_scatter = round_cost(0) * rounds + bw_term.scaled(0.5);
+  p.allgather = allreduce(ranks, bytes) - p.reduce_scatter;
+  return p;
+}
+
 SimTime Collectives::allgather(std::int64_t ranks,
                                std::uint64_t bytes_per_rank) const {
   if (ranks <= 1) return SimTime::zero();

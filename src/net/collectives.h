@@ -27,6 +27,16 @@ class Collectives {
   // bandwidth term ~2*bytes.
   SimTime allreduce(std::int64_t ranks, std::uint64_t bytes) const;
 
+  // The two halves of the Rabenseifner composition, for span tracing:
+  // reduce_scatter + allgather == allreduce(ranks, bytes) exactly (the
+  // allgather half absorbs any integer-ns rounding).
+  struct AllreducePhases {
+    SimTime reduce_scatter;
+    SimTime allgather;
+  };
+  AllreducePhases allreduce_phases(std::int64_t ranks,
+                                   std::uint64_t bytes) const;
+
   // Allgather (ring): P-1 steps of bytes each.
   SimTime allgather(std::int64_t ranks, std::uint64_t bytes_per_rank) const;
 

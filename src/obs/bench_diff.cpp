@@ -1,0 +1,163 @@
+#include "obs/bench_diff.h"
+
+#include <algorithm>
+#include <cfloat>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/bench_report.h"
+
+namespace hpcos::obs {
+
+namespace {
+
+// Flattened view of one report: (metric-or-percentile name, value), in
+// emission order. Percentiles become "<name>.<pN>" entries.
+std::vector<std::pair<std::string, double>> flatten_metrics(
+    const JsonValue& report) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const JsonValue& m : report.at("metrics").as_array()) {
+    const std::string& name = m.at("name").as_string();
+    out.emplace_back(name, m.at("value").as_number());
+    if (const JsonValue* pct = m.find("percentiles");
+        pct != nullptr && pct->is_object()) {
+      for (const auto& [key, value] : pct->members()) {
+        out.emplace_back(name + "." + key, value.as_number());
+      }
+    }
+  }
+  return out;
+}
+
+MetricTolerance parse_tolerance_fields(const JsonValue& obj,
+                                       MetricTolerance base) {
+  if (const JsonValue* rel = obj.find("rel")) base.rel = rel->as_number();
+  if (const JsonValue* abs = obj.find("abs")) base.abs = abs->as_number();
+  if (const JsonValue* ign = obj.find("ignore")) {
+    base.ignore = ign->as_bool();
+  }
+  if (base.rel < 0.0 || base.abs < 0.0) {
+    throw std::runtime_error("tolerances: rel/abs must be non-negative");
+  }
+  return base;
+}
+
+}  // namespace
+
+const MetricTolerance& DiffPolicy::lookup(const std::string& metric) const {
+  for (const ToleranceRule& rule : rules) {
+    if (glob_match(rule.pattern, metric)) return rule.tolerance;
+  }
+  return fallback;
+}
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative '*' glob: on mismatch, retry from the last star with one more
+  // character consumed.
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star = std::string::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == text[t] || pattern[p] == '?')) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+DiffPolicy parse_tolerance_policy(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    throw std::runtime_error("tolerances: document is not a JSON object");
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kBenchTolerancesSchema) {
+    throw std::runtime_error(std::string("tolerances: schema is not \"") +
+                             kBenchTolerancesSchema + "\"");
+  }
+  DiffPolicy policy;
+  if (const JsonValue* def = doc.find("default")) {
+    policy.fallback = parse_tolerance_fields(*def, MetricTolerance{});
+  }
+  if (const JsonValue* metrics = doc.find("metrics")) {
+    for (const JsonValue& entry : metrics->as_array()) {
+      ToleranceRule rule;
+      rule.pattern = entry.at("pattern").as_string();
+      // Rules refine the fallback, not the built-in defaults, so a policy
+      // file's "default" applies to rules that only set e.g. "ignore".
+      rule.tolerance = parse_tolerance_fields(entry, policy.fallback);
+      policy.rules.push_back(std::move(rule));
+    }
+  }
+  return policy;
+}
+
+DiffResult diff_reports(const JsonValue& current, const JsonValue& baseline,
+                        const DiffPolicy& policy) {
+  if (const std::string err = validate_bench_report(current); !err.empty()) {
+    throw std::runtime_error("current report invalid: " + err);
+  }
+  if (const std::string err = validate_bench_report(baseline);
+      !err.empty()) {
+    throw std::runtime_error("baseline report invalid: " + err);
+  }
+  if (current.at("bench").as_string() != baseline.at("bench").as_string()) {
+    throw std::runtime_error(
+        "bench mismatch: current is \"" + current.at("bench").as_string() +
+        "\", baseline is \"" + baseline.at("bench").as_string() + "\"");
+  }
+
+  const auto cur = flatten_metrics(current);
+  const auto base = flatten_metrics(baseline);
+
+  DiffResult r;
+  for (const auto& [name, cur_value] : cur) {
+    const MetricTolerance& tol = policy.lookup(name);
+    if (tol.ignore) continue;
+    const auto it =
+        std::find_if(base.begin(), base.end(),
+                     [&](const auto& b) { return b.first == name; });
+    if (it == base.end()) {
+      r.new_in_current.push_back(name);
+      continue;
+    }
+    MetricDelta d;
+    d.metric = name;
+    d.baseline = it->second;
+    d.current = cur_value;
+    d.abs_delta = std::abs(cur_value - it->second);
+    d.rel_delta = d.abs_delta / std::max(std::abs(it->second), DBL_MIN);
+    d.tolerance = tol;
+    d.violation =
+        d.abs_delta > std::max(tol.abs, tol.rel * std::abs(it->second));
+    r.deltas.push_back(d);
+    if (d.violation) r.violations.push_back(std::move(d));
+  }
+  for (const auto& [name, _] : base) {
+    const MetricTolerance& tol = policy.lookup(name);
+    if (tol.ignore) continue;
+    const bool present = std::any_of(
+        cur.begin(), cur.end(),
+        [&](const auto& c) { return c.first == name; });
+    if (!present) r.missing_in_current.push_back(name);
+  }
+  std::stable_sort(r.violations.begin(), r.violations.end(),
+                   [](const MetricDelta& a, const MetricDelta& b) {
+                     return a.rel_delta > b.rel_delta;
+                   });
+  return r;
+}
+
+}  // namespace hpcos::obs

@@ -1,0 +1,93 @@
+// Baseline comparison for BenchReport documents (the bench_gate).
+//
+// bench_smoke proves every bench still emits schema-valid JSON; this module
+// is the second half of the perf-regression discipline: diff the freshly
+// emitted `hpcos-bench-report/1` document against a committed baseline with
+// per-metric tolerances, so a metric drifting past its allowance fails CI
+// with a ranked table of violations instead of rotting silently.
+//
+// Tolerances come from a small JSON policy document:
+//
+//   {
+//     "schema": "hpcos-bench-tolerances/1",
+//     "default": { "rel": 0.05, "abs": 1e-9 },
+//     "metrics": [
+//       { "pattern": "parallel.speedup", "ignore": true },   // wall clock
+//       { "pattern": "*.p99_ms", "rel": 0.10 }
+//     ]
+//   }
+//
+// Patterns are glob-style with '*' wildcards; the first matching rule wins,
+// falling back to "default". Rules marked "ignore" skip the metric entirely
+// (host-dependent wall-clock measurements).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace hpcos::obs {
+
+inline constexpr const char* kBenchTolerancesSchema =
+    "hpcos-bench-tolerances/1";
+
+struct MetricTolerance {
+  // Allowed drift: a comparison passes when
+  //   |current - baseline| <= max(abs, rel * |baseline|).
+  double rel = 0.05;
+  double abs = 1e-9;
+  bool ignore = false;  // skip the metric (wall-clock, host-dependent)
+};
+
+struct ToleranceRule {
+  std::string pattern;  // glob over the metric name ('*' wildcards)
+  MetricTolerance tolerance;
+};
+
+struct DiffPolicy {
+  MetricTolerance fallback;
+  std::vector<ToleranceRule> rules;  // first match wins
+
+  const MetricTolerance& lookup(const std::string& metric) const;
+};
+
+// '*'-wildcard glob match over the full string (no character classes).
+bool glob_match(const std::string& pattern, const std::string& text);
+
+// Parse a tolerance policy document; throws std::runtime_error on a wrong
+// schema string or malformed entries.
+DiffPolicy parse_tolerance_policy(const JsonValue& doc);
+
+struct MetricDelta {
+  std::string metric;  // metric name, or "<name>.p50" for a percentile
+  double baseline = 0.0;
+  double current = 0.0;
+  double abs_delta = 0.0;
+  double rel_delta = 0.0;  // abs_delta / max(|baseline|, DBL_MIN)
+  MetricTolerance tolerance;
+  bool violation = false;
+};
+
+struct DiffResult {
+  // Everything compared (ignored metrics excluded), in report order.
+  std::vector<MetricDelta> deltas;
+  // Out-of-tolerance comparisons, ranked worst-first by relative delta.
+  std::vector<MetricDelta> violations;
+  // Baseline metrics the current report no longer emits — treated as
+  // failures (a silently dropped metric is a broken gate).
+  std::vector<std::string> missing_in_current;
+  // Current metrics absent from the baseline — reported, not failed
+  // (refresh the baseline to start tracking them).
+  std::vector<std::string> new_in_current;
+
+  bool ok() const { return violations.empty() && missing_in_current.empty(); }
+};
+
+// Compare two schema-valid bench reports under `policy`. Throws
+// std::runtime_error when either document fails validate_bench_report or
+// the two documents describe different benches.
+DiffResult diff_reports(const JsonValue& current, const JsonValue& baseline,
+                        const DiffPolicy& policy);
+
+}  // namespace hpcos::obs

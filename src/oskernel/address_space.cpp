@@ -6,6 +6,24 @@
 
 namespace hpcos::os {
 
+std::string to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kMinor:
+      return "minor";
+    case FaultKind::kMajor:
+      return "major";
+    case FaultKind::kHugeTlb:
+      return "hugetlb";
+  }
+  return "?";
+}
+
+FaultKind classify_fault(hw::PageSize page, hw::PageSize base_page,
+                         bool bulk_populate) {
+  if (page != base_page) return FaultKind::kHugeTlb;
+  return bulk_populate ? FaultKind::kMajor : FaultKind::kMinor;
+}
+
 AddressSpace::AddressSpace(std::uint64_t base) : next_addr_(base) {}
 
 std::uint64_t AddressSpace::map(std::uint64_t length, hw::PageSize page_size,
@@ -56,6 +74,11 @@ AddressSpace::UnmapResult AddressSpace::unmap(std::uint64_t start,
 }
 
 std::uint64_t AddressSpace::touch(std::uint64_t addr, std::uint64_t length) {
+  return touch_batch(addr, length).faults;
+}
+
+FaultBatch AddressSpace::touch_batch(std::uint64_t addr,
+                                     std::uint64_t length) {
   // Find the area containing addr: last area with start <= addr.
   auto it = areas_.upper_bound(addr);
   HPCOS_CHECK_MSG(it != areas_.begin(), "touch: unmapped address");
@@ -63,15 +86,16 @@ std::uint64_t AddressSpace::touch(std::uint64_t addr, std::uint64_t length) {
   VmArea& area = it->second;
   HPCOS_CHECK_MSG(addr >= area.start && addr < area.start + area.length,
                   "touch: unmapped address");
+  FaultBatch batch{.faults = 0, .page_size = area.page_size};
   const std::uint64_t page = hw::bytes(area.page_size);
   const std::uint64_t end =
       std::min(addr + length, area.start + area.length);
   const std::uint64_t last_page_needed =
       (end - area.start + page - 1) / page;
-  if (last_page_needed <= area.populated_pages) return 0;
-  const std::uint64_t faults = last_page_needed - area.populated_pages;
+  if (last_page_needed <= area.populated_pages) return batch;
+  batch.faults = last_page_needed - area.populated_pages;
   area.populated_pages = last_page_needed;
-  return faults;
+  return batch;
 }
 
 std::uint64_t AddressSpace::mapped_bytes() const {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "hw/tlb.h"
 
@@ -19,6 +20,29 @@ enum class PagingPolicy : std::uint8_t {
   kDemand,       // populate on first touch
   kPrePopulate,  // populate at map time (MAP_POPULATE / hugeTLBfs prealloc)
 };
+
+// Fault taxonomy for span tracing (the Figure 5-7 attribution): a demand
+// first-touch of a base page is a minor fault; a bulk populate at map time
+// (MAP_POPULATE prepaging — the closest thing to a major-fault storm in a
+// diskless model) is major; any fault on a large-page-backed area is the
+// hugeTLB path with its own allocator and cost.
+enum class FaultKind : std::uint8_t {
+  kMinor,
+  kMajor,
+  kHugeTlb,
+};
+std::string to_string(FaultKind k);
+
+// One contiguous batch of page faults taken on a single VM area.
+struct FaultBatch {
+  std::uint64_t faults = 0;
+  hw::PageSize page_size = hw::PageSize::k4K;
+};
+
+// Classify a fault batch: large pages take the hugeTLB path regardless of
+// how they were triggered; base pages split on demand vs. bulk populate.
+FaultKind classify_fault(hw::PageSize page, hw::PageSize base_page,
+                         bool bulk_populate);
 
 struct VmArea {
   std::uint64_t start = 0;
@@ -58,6 +82,10 @@ class AddressSpace {
   // First-touch of [addr, addr+length): returns the number of page faults
   // (pages newly populated). Zero for already-resident ranges.
   std::uint64_t touch(std::uint64_t addr, std::uint64_t length);
+
+  // Like touch(), but also reports the backing page size so callers can
+  // price and classify the batch without a second area lookup.
+  FaultBatch touch_batch(std::uint64_t addr, std::uint64_t length);
 
   std::uint64_t mapped_bytes() const;
   std::uint64_t resident_bytes() const;

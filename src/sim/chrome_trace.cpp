@@ -28,34 +28,66 @@ JsonValue event_to_json(const TraceRecord& rec, const ChromeTraceOptions& opt) {
   return ev;
 }
 
+JsonValue metadata_event(const char* kind, std::uint64_t pid,
+                         std::int64_t tid, const std::string& name) {
+  JsonValue meta = JsonValue::object();
+  meta.set("name", kind);
+  meta.set("ph", "M");
+  meta.set("pid", pid);
+  meta.set("tid", tid);
+  JsonValue args = JsonValue::object();
+  args.set("name", name);
+  meta.set("args", std::move(args));
+  return meta;
+}
+
+void append_metadata(JsonValue& events, const ChromeTraceOptions& options) {
+  if (!options.process_name.empty()) {
+    events.push_back(
+        metadata_event("process_name", options.pid, 0, options.process_name));
+  }
+  for (const auto& [tid, name] : options.thread_names) {
+    events.push_back(metadata_event("thread_name", options.pid, tid, name));
+  }
+}
+
+void append_sorted_events(JsonValue& events,
+                          std::vector<std::pair<const TraceRecord*,
+                                                const ChromeTraceOptions*>>
+                              ordered) {
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.first->time != b.first->time) {
+                       return a.first->time < b.first->time;
+                     }
+                     return a.first->span < b.first->span;
+                   });
+  for (const auto& [rec, opt] : ordered) {
+    events.push_back(event_to_json(*rec, *opt));
+  }
+}
+
 }  // namespace
 
 JsonValue chrome_trace_document(const std::vector<TraceRecord>& records,
                                 const ChromeTraceOptions& options) {
-  std::vector<const TraceRecord*> ordered;
-  ordered.reserve(records.size());
-  for (const auto& r : records) ordered.push_back(&r);
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [](const TraceRecord* a, const TraceRecord* b) {
-                     if (a->time != b->time) return a->time < b->time;
-                     return a->span < b->span;
-                   });
+  std::vector<ChromeTraceGroup> groups(1);
+  groups[0].records = records;
+  groups[0].options = options;
+  return chrome_trace_document(groups);
+}
 
+JsonValue chrome_trace_document(const std::vector<ChromeTraceGroup>& groups) {
   JsonValue events = JsonValue::array();
-  if (!options.process_name.empty()) {
-    JsonValue meta = JsonValue::object();
-    meta.set("name", "process_name");
-    meta.set("ph", "M");
-    meta.set("pid", options.pid);
-    meta.set("tid", std::uint64_t{0});
-    JsonValue args = JsonValue::object();
-    args.set("name", options.process_name);
-    meta.set("args", std::move(args));
-    events.push_back(std::move(meta));
+  for (const auto& group : groups) append_metadata(events, group.options);
+  std::vector<std::pair<const TraceRecord*, const ChromeTraceOptions*>>
+      ordered;
+  for (const auto& group : groups) {
+    for (const auto& rec : group.records) {
+      ordered.emplace_back(&rec, &group.options);
+    }
   }
-  for (const TraceRecord* rec : ordered) {
-    events.push_back(event_to_json(*rec, options));
-  }
+  append_sorted_events(events, std::move(ordered));
 
   JsonValue doc = JsonValue::object();
   doc.set("traceEvents", std::move(events));

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -32,12 +33,30 @@ struct ChromeTraceOptions {
   // Process name shown in the viewer (emitted as a process_name metadata
   // event when non-empty).
   std::string process_name;
+  // Track names keyed by tid (the record's core id, or a synthetic rank
+  // track id). Each entry becomes a thread_name metadata event, so e.g.
+  // BSP rank timelines show up as "rank 3 @ node 7" instead of a bare
+  // core number.
+  std::vector<std::pair<std::int64_t, std::string>> thread_names;
 };
 
 // Build the trace_event document for a set of records. Events are sorted by
 // timestamp (then span id) so `ts` is monotonic in the output.
 JsonValue chrome_trace_document(const std::vector<TraceRecord>& records,
                                 const ChromeTraceOptions& options = {});
+
+// One record set plus the pid / naming metadata it should carry in a merged
+// document. Used for whole-run exports that combine several nodes (and
+// synthetic rank tracks) into a single Perfetto-loadable file.
+struct ChromeTraceGroup {
+  std::vector<TraceRecord> records;
+  ChromeTraceOptions options;
+};
+
+// Merge several groups into one document: all metadata ("M") events are
+// emitted first, then every group's events globally sorted by timestamp so
+// the validator's monotonic-ts check holds across groups.
+JsonValue chrome_trace_document(const std::vector<ChromeTraceGroup>& groups);
 
 // Snapshot `buffer` and write the document to `path` (pretty-printed).
 // Throws std::runtime_error on I/O failure.

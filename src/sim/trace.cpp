@@ -28,6 +28,8 @@ std::string to_string(TraceCategory c) {
       return "page_fault";
     case TraceCategory::kScheduler:
       return "scheduler";
+    case TraceCategory::kCollective:
+      return "collective";
     case TraceCategory::kUser:
       return "user";
   }

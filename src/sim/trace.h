@@ -30,6 +30,7 @@ enum class TraceCategory : std::uint8_t {
   kSyscallOffload,
   kPageFault,
   kScheduler,
+  kCollective,
   kUser,
 };
 std::string to_string(TraceCategory c);

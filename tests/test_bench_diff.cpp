@@ -1,0 +1,187 @@
+// bench_diff library: glob matching, tolerance-policy parsing, and report
+// diffing — the logic behind the ctest bench_gate jobs.
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/bench_diff.h"
+#include "obs/bench_report.h"
+
+namespace hpcos::obs {
+namespace {
+
+JsonValue report_with(
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::string& bench = "gate_bench") {
+  BenchReport r(bench, /*quick=*/true, /*seed=*/42);
+  for (const auto& [name, value] : metrics) r.add_metric(name, "us", value);
+  return r.to_json();
+}
+
+// ----------------------------------------------------------------- glob
+
+TEST(GlobMatch, LiteralAndWildcardPatterns) {
+  EXPECT_TRUE(glob_match("a.b", "a.b"));
+  EXPECT_FALSE(glob_match("a.b", "a.c"));
+  EXPECT_TRUE(glob_match("*", "anything.at.all"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+
+  EXPECT_TRUE(glob_match("shard_sweep.*.wall_s", "shard_sweep.64.wall_s"));
+  EXPECT_FALSE(glob_match("shard_sweep.*.wall_s",
+                          "shard_sweep.64.noise_rate"));
+  EXPECT_TRUE(glob_match("*.p99_ms", "ofp_linux.p99_ms"));
+  EXPECT_TRUE(glob_match("a*c*e", "abcde"));
+  EXPECT_FALSE(glob_match("a*c*e", "abde"));
+
+  EXPECT_TRUE(glob_match("a?c", "abc"));
+  EXPECT_FALSE(glob_match("a?c", "ac"));
+}
+
+// --------------------------------------------------------------- policy
+
+TEST(TolerancePolicy, RulesRefineTheDefault) {
+  const auto doc = JsonValue::parse(R"({
+    "schema": "hpcos-bench-tolerances/1",
+    "default": {"rel": 0.02, "abs": 1e-6},
+    "metrics": [
+      {"pattern": "parallel.speedup", "ignore": true},
+      {"pattern": "*.p99_ms", "rel": 0.10}
+    ]
+  })");
+  const DiffPolicy policy = parse_tolerance_policy(doc);
+  EXPECT_TRUE(policy.lookup("parallel.speedup").ignore);
+  // The rule only sets rel; abs is inherited from the file's default.
+  EXPECT_DOUBLE_EQ(policy.lookup("x.p99_ms").rel, 0.10);
+  EXPECT_DOUBLE_EQ(policy.lookup("x.p99_ms").abs, 1e-6);
+  EXPECT_FALSE(policy.lookup("x.p99_ms").ignore);
+  // Unmatched metrics fall back to the default.
+  EXPECT_DOUBLE_EQ(policy.lookup("other.metric").rel, 0.02);
+}
+
+TEST(TolerancePolicy, FirstMatchingRuleWins) {
+  const auto doc = JsonValue::parse(R"({
+    "schema": "hpcos-bench-tolerances/1",
+    "metrics": [
+      {"pattern": "a.*", "rel": 0.5},
+      {"pattern": "a.b", "rel": 0.9}
+    ]
+  })");
+  const DiffPolicy policy = parse_tolerance_policy(doc);
+  EXPECT_DOUBLE_EQ(policy.lookup("a.b").rel, 0.5);
+}
+
+TEST(TolerancePolicy, RejectsWrongSchemaAndNegativeTolerances) {
+  EXPECT_THROW(
+      parse_tolerance_policy(JsonValue::parse(R"({"schema": "nope/1"})")),
+      std::runtime_error);
+  EXPECT_THROW(parse_tolerance_policy(JsonValue::parse(R"({
+        "schema": "hpcos-bench-tolerances/1",
+        "default": {"rel": -0.1}
+      })")),
+               std::runtime_error);
+}
+
+// ----------------------------------------------------------------- diff
+
+TEST(BenchDiff, PassesWithinTolerance) {
+  const auto baseline = report_with({{"alpha", 100.0}, {"beta", 1.0}});
+  const auto current = report_with({{"alpha", 104.0}, {"beta", 1.0}});
+  const auto result = diff_reports(current, baseline, DiffPolicy{});
+  EXPECT_TRUE(result.ok());  // 4% < default 5%
+  EXPECT_EQ(result.deltas.size(), 2u);
+  EXPECT_TRUE(result.violations.empty());
+}
+
+TEST(BenchDiff, ViolationsRankedWorstFirst) {
+  const auto baseline = report_with({{"alpha", 100.0}, {"beta", 10.0}});
+  const auto current = report_with({{"alpha", 110.0}, {"beta", 20.0}});
+  const auto result = diff_reports(current, baseline, DiffPolicy{});
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.violations.size(), 2u);
+  EXPECT_EQ(result.violations[0].metric, "beta");  // 100% > 10%
+  EXPECT_EQ(result.violations[1].metric, "alpha");
+  EXPECT_DOUBLE_EQ(result.violations[0].rel_delta, 1.0);
+}
+
+TEST(BenchDiff, IgnoreRuleSkipsHostDependentMetrics) {
+  const auto baseline = report_with({{"wall_s", 1.0}, {"alpha", 5.0}});
+  const auto current = report_with({{"wall_s", 50.0}, {"alpha", 5.0}});
+  DiffPolicy policy;
+  policy.rules.push_back({"wall*", MetricTolerance{.ignore = true}});
+  const auto result = diff_reports(current, baseline, policy);
+  EXPECT_TRUE(result.ok());
+  // Ignored metrics are excluded from the compared set entirely.
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_EQ(result.deltas[0].metric, "alpha");
+}
+
+TEST(BenchDiff, MissingMetricFailsNewMetricNotes) {
+  const auto baseline = report_with({{"alpha", 1.0}, {"gone", 2.0}});
+  const auto current = report_with({{"alpha", 1.0}, {"fresh", 3.0}});
+  const auto result = diff_reports(current, baseline, DiffPolicy{});
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.missing_in_current.size(), 1u);
+  EXPECT_EQ(result.missing_in_current[0], "gone");
+  ASSERT_EQ(result.new_in_current.size(), 1u);
+  EXPECT_EQ(result.new_in_current[0], "fresh");
+}
+
+TEST(BenchDiff, PercentilesCompareAsFlattenedMetrics) {
+  auto make = [](double p99) {
+    BenchReport r("gate_bench", true, 42);
+    r.add_metric(BenchMetric{.name = "lat",
+                             .unit = "us",
+                             .value = 5.0,
+                             .percentiles = {{"p50", 1.0}, {"p99", p99}}});
+    return r.to_json();
+  };
+  const auto result =
+      diff_reports(make(/*p99=*/20.0), make(/*p99=*/10.0), DiffPolicy{});
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].metric, "lat.p99");
+}
+
+TEST(BenchDiff, InjectedRegressionTripsTheGateTolerances) {
+  // The exact policy the committed bench_gate uses: 2% rel default with
+  // wall-clock ignores. A 5% regression on a deterministic metric fails;
+  // an arbitrarily large wall-clock change does not.
+  const auto policy = parse_tolerance_policy(JsonValue::parse(R"({
+    "schema": "hpcos-bench-tolerances/1",
+    "default": {"rel": 0.02, "abs": 1e-9},
+    "metrics": [
+      {"pattern": "parallel.speedup", "ignore": true},
+      {"pattern": "shard_sweep.*.wall_s", "ignore": true}
+    ]
+  })"));
+  const auto baseline = report_with({{"ofp_linux.p99_ms", 6.5},
+                                     {"parallel.speedup", 3.0},
+                                     {"shard_sweep.64.wall_s", 0.01}});
+  const auto regressed = report_with({{"ofp_linux.p99_ms", 6.5 * 1.05},
+                                      {"parallel.speedup", 30.0},
+                                      {"shard_sweep.64.wall_s", 10.0}});
+  const auto result = diff_reports(regressed, baseline, policy);
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.violations.size(), 1u);
+  EXPECT_EQ(result.violations[0].metric, "ofp_linux.p99_ms");
+
+  const auto clean = diff_reports(baseline, baseline, policy);
+  EXPECT_TRUE(clean.ok());
+}
+
+TEST(BenchDiff, RejectsInvalidOrMismatchedReports) {
+  const auto a = report_with({{"alpha", 1.0}}, "bench_a");
+  const auto b = report_with({{"alpha", 1.0}}, "bench_b");
+  EXPECT_THROW(diff_reports(a, b, DiffPolicy{}), std::runtime_error);
+  EXPECT_THROW(diff_reports(JsonValue::parse("{}"), a, DiffPolicy{}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hpcos::obs

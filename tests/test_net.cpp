@@ -66,6 +66,22 @@ TEST(Collectives, AllreduceLatencyAndBandwidth) {
   EXPECT_EQ(c.allreduce(1, 1 << 20), SimTime::zero());
 }
 
+TEST(Collectives, AllreducePhasesSumExactlyToAllreduce) {
+  const Collectives c{Fabric(make_tofud_params())};
+  for (const std::int64_t ranks : {2, 100, 32768, 158976}) {
+    for (const std::uint64_t bytes : {8ull, 4096ull, 16ull << 20}) {
+      const auto p = c.allreduce_phases(ranks, bytes);
+      // Exact by construction: allgather absorbs the integer-ns rounding.
+      EXPECT_EQ(p.reduce_scatter + p.allgather, c.allreduce(ranks, bytes));
+      EXPECT_GT(p.reduce_scatter, SimTime::zero());
+      EXPECT_GT(p.allgather, SimTime::zero());
+    }
+  }
+  const auto degenerate = c.allreduce_phases(1, 1 << 20);
+  EXPECT_EQ(degenerate.reduce_scatter, SimTime::zero());
+  EXPECT_EQ(degenerate.allgather, SimTime::zero());
+}
+
 TEST(Collectives, AllgatherLinearInRanks) {
   const Collectives c{Fabric(make_tofud_params())};
   const SimTime g8 = c.allgather(8, 4096);

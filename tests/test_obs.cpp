@@ -5,12 +5,16 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "cluster/bsp.h"
 #include "cluster/fwq_campaign.h"
+#include "cluster/job_launcher.h"
 #include "cluster/node.h"
+#include "cluster/osenv.h"
 #include "noise/profiles.h"
 #include "obs/bench_report.h"
 #include "obs/registry.h"
@@ -365,6 +369,311 @@ TEST(OffloadSpans, DisabledObservabilityRegistersNothing) {
   node->simulator().run_until(SimTime::ms(5));
   EXPECT_EQ(node->registry().counter_count(), 0u);
   EXPECT_EQ(node->registry().histogram_count(), 0u);
+}
+
+// ----------------------------------------- page-fault / BSP phase spans
+
+// Every non-zero parent id must reference a span id present in the set —
+// the tree reconstructs without dangling edges.
+void expect_parent_links_resolve(const std::vector<sim::TraceRecord>& recs) {
+  std::set<std::uint64_t> ids;
+  for (const auto& r : recs) {
+    if (r.span != 0) ids.insert(r.span);
+  }
+  for (const auto& r : recs) {
+    if (r.parent != 0) {
+      EXPECT_TRUE(ids.count(r.parent)) << "dangling parent on " << r.label;
+    }
+  }
+}
+
+// Prepopulated large-page mmap followed by munmap: bulk fault-in spans on
+// the way in, a TLB-shootdown subtree under the unmap root on the way out.
+struct MmapUnmap final : os::ThreadBody {
+  int stage = 0;
+  std::uint64_t addr = 0;
+  void step(os::ThreadContext& ctx) override {
+    switch (stage++) {
+      case 0:
+        ctx.invoke(os::Syscall::kMmap,
+                   os::SyscallArgs{.arg0 = 32ull << 20, .arg1 = 1});
+        return;
+      case 1:
+        addr = static_cast<std::uint64_t>(ctx.last_syscall().value);
+        ctx.invoke(os::Syscall::kMunmap,
+                   os::SyscallArgs{.arg0 = addr, .arg1 = 32ull << 20});
+        return;
+      default:
+        ctx.exit();
+    }
+  }
+};
+
+template <typename MakeNode>
+std::vector<sim::TraceRecord> fault_span_campaign(MakeNode make_node) {
+  const auto platform = hw::make_fugaku_testbed_platform();
+  cluster::SimNodeOptions options;
+  options.seed = Seed{11};
+  options.observability = true;
+  options.trace_capacity = 4096;
+  auto node = make_node(platform, options);
+  cluster::JobLauncher launcher(*node);
+  const auto job = launcher.launch(cluster::LaunchSpec{.ranks = 1});
+  launcher.spawn_rank_thread(job, 0, std::make_unique<MmapUnmap>(),
+                             "mmap-unmap");
+  node->simulator().run_until(SimTime::ms(50));
+  return node->trace().snapshot();
+}
+
+TEST(FaultSpans, LinuxFaultAndShootdownTreesAreParentLinked) {
+  const auto recs = fault_span_campaign([](const auto& platform,
+                                           const auto& options) {
+    return cluster::SimNode::make_linux_node(
+        platform, linuxk::make_fugaku_linux_config(platform), options);
+  });
+  expect_parent_links_resolve(recs);
+
+  // A bulk fault root with its populate child.
+  std::uint64_t fault_root = 0;
+  for (const auto& r : recs) {
+    if (r.parent == 0 && r.span != 0 && r.label.rfind("fault:", 0) == 0) {
+      EXPECT_EQ(r.category, sim::TraceCategory::kPageFault);
+      EXPECT_GT(r.duration, SimTime::zero());
+      fault_root = r.span;
+      break;
+    }
+  }
+  ASSERT_NE(fault_root, 0u);
+  bool populate_child = false;
+  for (const auto& r : recs) {
+    if (r.parent == fault_root && r.label == "fault:populate") {
+      populate_child = true;
+    }
+  }
+  EXPECT_TRUE(populate_child);
+
+  // The unmap root owns both the page teardown and the TLB shootdown, and
+  // the shootdown has its own child breakdown.
+  std::uint64_t unmap_root = 0;
+  for (const auto& r : recs) {
+    if (r.parent == 0 && r.label == "unmap:munmap") unmap_root = r.span;
+  }
+  ASSERT_NE(unmap_root, 0u);
+  std::uint64_t shootdown = 0;
+  bool pages_child = false;
+  for (const auto& r : recs) {
+    if (r.parent != unmap_root) continue;
+    if (r.label == "tlb:shootdown") {
+      EXPECT_EQ(r.category, sim::TraceCategory::kTlbShootdown);
+      shootdown = r.span;
+    }
+    if (r.label == "unmap:pages") pages_child = true;
+  }
+  ASSERT_NE(shootdown, 0u);
+  EXPECT_TRUE(pages_child);
+  std::size_t shootdown_children = 0;
+  for (const auto& r : recs) {
+    if (r.parent == shootdown) ++shootdown_children;
+  }
+  EXPECT_GE(shootdown_children, 1u);
+
+  const auto doc = chrome_trace_document(recs);
+  EXPECT_EQ(sim::validate_chrome_trace(doc), "");
+}
+
+TEST(FaultSpans, McKernelFaultTreesAreParentLinked) {
+  const auto recs = fault_span_campaign([](const auto& platform,
+                                           const auto& options) {
+    return cluster::SimNode::make_multikernel_node(
+        platform, linuxk::make_fugaku_linux_config(platform),
+        mck::McKernelConfig::defaults(), options);
+  });
+  expect_parent_links_resolve(recs);
+  std::uint64_t fault_root = 0;
+  for (const auto& r : recs) {
+    if (r.parent == 0 && r.span != 0 && r.label.rfind("fault:", 0) == 0 &&
+        r.duration > SimTime::zero()) {
+      EXPECT_EQ(r.category, sim::TraceCategory::kPageFault);
+      fault_root = r.span;
+      break;
+    }
+  }
+  ASSERT_NE(fault_root, 0u);
+  bool populate_child = false;
+  for (const auto& r : recs) {
+    if (r.parent == fault_root && r.label == "fault:populate") {
+      populate_child = true;
+    }
+  }
+  EXPECT_TRUE(populate_child);
+  const auto doc = chrome_trace_document(recs);
+  EXPECT_EQ(sim::validate_chrome_trace(doc), "");
+}
+
+TEST(BspSpans, PhaseTreesSumExactlyAndExportWithRankTracks) {
+  class TinySolver final : public cluster::Workload {
+   public:
+    std::string name() const override { return "tiny-solver"; }
+    int iterations() const override { return 3; }
+    cluster::RankWork rank_work(
+        int, const cluster::JobConfig&,
+        const cluster::OsEnvironment&) const override {
+      cluster::RankWork w;
+      w.compute = SimTime::ms(2);
+      w.touch_bytes = 4ull << 20;
+      w.alloc_churn_bytes = 8ull << 20;
+      w.allreduces = 1;
+      w.allreduce_bytes = 4096;
+      w.halo_neighbors = 6;
+      w.halo_bytes = 64ull << 10;
+      w.barriers = 1;
+      w.thread_barriers = 2;
+      w.imbalance_sigma = 0.05;
+      return w;
+    }
+    cluster::InitWork init_work(
+        const cluster::JobConfig&,
+        const cluster::OsEnvironment&) const override {
+      cluster::InitWork init;
+      init.serial_setup = SimTime::ms(5);
+      init.touch_bytes = 16ull << 20;
+      init.rdma_registrations = 2;
+      init.rdma_bytes_each = 8ull << 20;
+      return init;
+    }
+  };
+
+  const auto env = cluster::make_fugaku_linux_env();
+  const cluster::JobConfig job{.nodes = 16, .ranks_per_node = 4,
+                               .threads_per_rank = 12};
+  TinySolver w;
+  sim::TraceBuffer buf(1 << 14);
+  cluster::BspEngine traced_engine(env, job, Seed{3});
+  traced_engine.set_trace(&buf, /*track=*/5);
+  const auto traced = traced_engine.run(w);
+
+  // Tracing must not perturb the simulated result (same RNG draw order).
+  cluster::BspEngine plain_engine(env, job, Seed{3});
+  const auto plain = plain_engine.run(w);
+  EXPECT_EQ(traced.total, plain.total);
+  EXPECT_EQ(traced.init_time, plain.init_time);
+
+  const auto recs = buf.snapshot();
+  expect_parent_links_resolve(recs);
+  for (const auto& r : recs) EXPECT_EQ(r.core, 5);
+
+  // One init root plus one root per iteration; each root's direct
+  // children sum exactly to the root duration (the phases are the full
+  // time composition, laid back to back on the virtual timeline).
+  std::size_t roots = 0;
+  for (const auto& r : recs) {
+    if (r.parent != 0) continue;
+    ++roots;
+    EXPECT_EQ(r.category, sim::TraceCategory::kCollective);
+    EXPECT_TRUE(r.label == "bsp:init" || r.label == "bsp:iteration");
+    SimTime child_sum;
+    for (const auto& c : recs) {
+      if (c.parent == r.span) child_sum += c.duration;
+    }
+    EXPECT_EQ(child_sum, r.duration) << r.label;
+    if (r.label == "bsp:iteration") {
+      // The allreduce child splits into reduce-scatter + allgather
+      // grandchildren that sum exactly to it.
+      for (const auto& c : recs) {
+        if (c.parent != r.span || c.label != "bsp:allreduce") continue;
+        SimTime split_sum;
+        std::size_t parts = 0;
+        for (const auto& g : recs) {
+          if (g.parent == c.span) {
+            ++parts;
+            split_sum += g.duration;
+          }
+        }
+        EXPECT_EQ(parts, 2u);
+        EXPECT_EQ(split_sum, c.duration);
+      }
+    }
+  }
+  EXPECT_EQ(roots, 1u + static_cast<std::size_t>(w.iterations()));
+
+  // The rank track exports with its thread_name metadata and validates.
+  const auto doc = chrome_trace_document(
+      recs, sim::ChromeTraceOptions{
+                .pid = 3,
+                .process_name = "bsp-cluster",
+                .thread_names = {{5, "rank 0 @ node 0"}}});
+  EXPECT_EQ(sim::validate_chrome_trace(doc), "");
+  bool saw_thread_name = false;
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "M" &&
+        e.at("name").as_string() == "thread_name") {
+      EXPECT_EQ(e.at("args").at("name").as_string(), "rank 0 @ node 0");
+      EXPECT_EQ(e.at("tid").as_number(), 5.0);
+      saw_thread_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_thread_name);
+}
+
+TEST(TraceBufferWrap, MixedSpanTreesSurviveWraparound) {
+  // Four 3-record span trees (root + 2 children) of different categories
+  // into an 8-slot ring: the oldest tree and the second tree's root are
+  // evicted. The snapshot must stay chronological, the surviving trees
+  // fully linked, and orphaned children must keep their parent ids (the
+  // exporter ships them as plain events; analysis sees the truncation via
+  // dropped()).
+  sim::TraceBuffer buf(8);
+  const sim::TraceCategory cats[] = {sim::TraceCategory::kPageFault,
+                                     sim::TraceCategory::kCollective,
+                                     sim::TraceCategory::kSyscallOffload,
+                                     sim::TraceCategory::kTlbShootdown};
+  std::vector<std::uint64_t> tree_roots;
+  for (int k = 0; k < 4; ++k) {
+    const std::uint64_t root = buf.new_span();
+    tree_roots.push_back(root);
+    sim::TraceRecord rec = rec_at(100 * k, cats[k], "root" + std::to_string(k));
+    rec.span = root;
+    buf.record(rec);
+    for (int c = 0; c < 2; ++c) {
+      sim::TraceRecord child =
+          rec_at(100 * k + c + 1, cats[k],
+                 "child" + std::to_string(k) + std::to_string(c));
+      child.span = buf.new_span();
+      child.parent = root;
+      buf.record(child);
+    }
+  }
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.dropped(), 4u);
+
+  const auto snap = buf.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_GE(snap[i].time, snap[i - 1].time);
+  }
+  // Trees 2 and 3 survive intact: root present, both children linked.
+  for (int k = 2; k < 4; ++k) {
+    std::size_t kids = 0;
+    bool root_present = false;
+    for (const auto& r : snap) {
+      if (r.span == tree_roots[static_cast<std::size_t>(k)]) {
+        root_present = true;
+      }
+      if (r.parent == tree_roots[static_cast<std::size_t>(k)]) ++kids;
+    }
+    EXPECT_TRUE(root_present);
+    EXPECT_EQ(kids, 2u);
+  }
+  // Tree 1's root was evicted but its children survive as orphans with
+  // their original parent id intact.
+  std::size_t orphans = 0;
+  for (const auto& r : snap) {
+    EXPECT_NE(r.span, tree_roots[1]);
+    if (r.parent == tree_roots[1]) ++orphans;
+  }
+  EXPECT_EQ(orphans, 2u);
+  // The truncated mix still exports as a valid document.
+  EXPECT_EQ(sim::validate_chrome_trace(chrome_trace_document(snap)), "");
 }
 
 // ------------------------------------------------- campaign top-K heaps

@@ -75,6 +75,36 @@ TEST(ParallelDeterminism, FwqCampaignIdenticalAcrossRuns) {
   expect_identical(a, b);
 }
 
+TEST(ParallelDeterminism, JitteredAllCoresCampaignIdenticalAcrossThreads) {
+  // The per-core jitter knob adds extra lognormal draws inside kAllCores
+  // hits; the draws come from the per-node stream, so the result must stay
+  // independent of the host thread count — and sigma = 0 must reproduce
+  // the historical identical-stall model exactly.
+  // Fugaku's Linux profile carries the kAllCores sources (sar-monitor,
+  // tcs-pmu-read, tlbi-broadcast) that the knob applies to.
+  const auto profile = noise::fugaku_linux_profile();
+  auto jittered = [](std::size_t threads) {
+    auto cfg = campaign_config(threads);
+    cfg.all_cores_jitter_sigma = 0.4;
+    return cfg;
+  };
+  const auto serial = run_fwq_campaign(profile, jittered(1));
+  const auto four = run_fwq_campaign(profile, jittered(4));
+  const auto dflt =
+      run_fwq_campaign(profile, jittered(default_parallelism()));
+  expect_identical(serial, four);
+  expect_identical(serial, dflt);
+
+  // The knob is not a no-op: the jittered campaign diverges from the
+  // sigma = 0 model...
+  const auto baseline = run_fwq_campaign(profile, campaign_config(1));
+  EXPECT_NE(serial.stats.noise_rate, baseline.stats.noise_rate);
+  // ...and sigma = 0 (the default) is bit-identical to the baseline.
+  auto zero = campaign_config(1);
+  zero.all_cores_jitter_sigma = 0.0;
+  expect_identical(run_fwq_campaign(profile, zero), baseline);
+}
+
 TEST(ParallelDeterminism, RelativePerformanceIdenticalAcrossThreadCounts) {
   class TinyWorkload final : public Workload {
    public:

@@ -1,0 +1,140 @@
+// bench_diff: compare a BenchReport against a committed baseline.
+//
+//   bench_diff <current.json> <baseline.json>
+//              [--tolerances <policy.json>] [--update-baselines]
+//
+// Exit codes:
+//   0  every metric within tolerance (or baseline updated)
+//   1  at least one out-of-tolerance metric or a metric missing from the
+//      current report — a ranked violation table is printed
+//   2  usage / I/O / schema errors
+//
+// The ctest bench_gate jobs run this against bench/baselines/<bench>.json
+// downstream of each bench_smoke run; --update-baselines rewrites the
+// baseline from the current report instead of comparing (commit the result
+// to accept a perf change).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table.h"
+#include "obs/bench_diff.h"
+#include "obs/bench_report.h"
+
+namespace {
+
+using hpcos::JsonValue;
+using hpcos::TextTable;
+
+JsonValue load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return JsonValue::parse(buf.str());
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <current.json> <baseline.json>"
+               " [--tolerances <policy.json>] [--update-baselines]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string current_path;
+  std::string baseline_path;
+  std::string tolerances_path;
+  bool update_baselines = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerances") {
+      if (++i >= argc) return usage(argv[0]);
+      tolerances_path = argv[i];
+    } else if (arg == "--update-baselines") {
+      update_baselines = true;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (current_path.empty() || baseline_path.empty()) return usage(argv[0]);
+
+  try {
+    const JsonValue current = load_json(current_path);
+    if (const std::string err = hpcos::obs::validate_bench_report(current);
+        !err.empty()) {
+      std::cerr << "bench_diff: current report invalid: " << err << "\n";
+      return 2;
+    }
+
+    if (update_baselines) {
+      std::ofstream out(baseline_path);
+      if (!out) {
+        std::cerr << "bench_diff: cannot write baseline: " << baseline_path
+                  << "\n";
+        return 2;
+      }
+      out << current.dump_pretty() << "\n";
+      if (!out) {
+        std::cerr << "bench_diff: write failed: " << baseline_path << "\n";
+        return 2;
+      }
+      std::cout << "bench_diff: baseline updated: " << baseline_path << "\n";
+      return 0;
+    }
+
+    hpcos::obs::DiffPolicy policy;
+    if (!tolerances_path.empty()) {
+      policy = hpcos::obs::parse_tolerance_policy(load_json(tolerances_path));
+    }
+    const JsonValue baseline = load_json(baseline_path);
+    const hpcos::obs::DiffResult result =
+        hpcos::obs::diff_reports(current, baseline, policy);
+
+    for (const std::string& name : result.new_in_current) {
+      std::cout << "note: new metric not in baseline: " << name
+                << " (run --update-baselines to track it)\n";
+    }
+    if (result.ok()) {
+      std::cout << "bench_diff: " << result.deltas.size()
+                << " metric(s) within tolerance vs " << baseline_path
+                << "\n";
+      return 0;
+    }
+
+    for (const std::string& name : result.missing_in_current) {
+      std::cout << "FAIL: metric missing from current report: " << name
+                << "\n";
+    }
+    if (!result.violations.empty()) {
+      TextTable table({"metric", "baseline", "current", "delta", "rel",
+                       "allowed rel", "allowed abs"});
+      for (std::size_t c = 1; c < table.num_columns(); ++c) {
+        table.set_align(c, hpcos::Align::kRight);
+      }
+      for (const auto& v : result.violations) {
+        table.add_row({v.metric, TextTable::fmt_sci(v.baseline, 4),
+                       TextTable::fmt_sci(v.current, 4),
+                       TextTable::fmt_sci(v.current - v.baseline, 2),
+                       TextTable::fmt_percent(v.rel_delta),
+                       TextTable::fmt_percent(v.tolerance.rel),
+                       TextTable::fmt_sci(v.tolerance.abs, 1)});
+      }
+      std::cout << "bench_diff: " << result.violations.size()
+                << " metric(s) out of tolerance (worst first):\n";
+      table.print(std::cout);
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bench_diff: " << e.what() << "\n";
+    return 2;
+  }
+}
