@@ -25,12 +25,15 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "cluster/bsp.h"
 #include "cluster/job_launcher.h"
 #include "cluster/node.h"
 #include "cluster/osenv.h"
 #include "common/table.h"
 #include "noise/fwq.h"
+#include "obs/bench_report.h"
 #include "obs/registry.h"
 #include "sim/chrome_trace.h"
 
@@ -172,7 +175,12 @@ void print_span_trees(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  // --json <path> emits the report's headline numbers as a BenchReport
+  // (obs_report.* metrics); --quick is accepted for the smoke harness —
+  // the tour is already quick, so it only marks the report.
+  const auto opts = obs::parse_bench_options(argc, argv);
   const auto platform = hw::make_fugaku_testbed_platform();
 
   cluster::SimNodeOptions options;
@@ -288,10 +296,10 @@ int main() {
   const auto mck_env = cluster::make_fugaku_mckernel_env();
   cluster::BspEngine linux_engine(linux_env, bsp_job, Seed{7});
   linux_engine.set_trace(&bsp_trace, /*track=*/0);
-  linux_engine.run(solver);
+  const auto linux_bsp = linux_engine.run(solver);
   cluster::BspEngine mck_engine(mck_env, bsp_job, Seed{7});
   mck_engine.set_trace(&bsp_trace, /*track=*/1);
-  mck_engine.run(solver);
+  const auto mck_bsp = mck_engine.run(solver);
   const auto bsp_records = bsp_trace.snapshot();
   print_span_trees(
       bsp_records, "BSP collective-phase span trees (rank track 0 = Linux)",
@@ -332,5 +340,26 @@ int main() {
             << " — open it at\nhttps://ui.perfetto.dev: offloaded syscalls, "
                "page-fault/TLB-shootdown trees\nand named BSP rank tracks "
                "share one timeline across three pids.\n";
+
+  // ---- Machine-readable report (--json) -------------------------------
+  obs::BenchReport report("obs_report", opts.quick, options.seed.value);
+  report.add_metric("obs_report.linux_trace_records", "count",
+                    static_cast<double>(linux_records.size()));
+  report.add_metric("obs_report.mk_trace_records", "count",
+                    static_cast<double>(records.size()));
+  report.add_metric("obs_report.mk_root_spans", "count",
+                    static_cast<double>(roots));
+  report.add_metric("obs_report.bsp_trace_records", "count",
+                    static_cast<double>(bsp_records.size()));
+  report.add_metric("obs_report.bsp_linux_total_ms", "ms",
+                    linux_bsp.total.to_ms());
+  report.add_metric("obs_report.bsp_mck_total_ms", "ms",
+                    mck_bsp.total.to_ms());
+  report.add_metric(
+      "host.wall_s", "s",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count());
+  obs::maybe_write_report(report, opts);
   return 0;
 }

@@ -37,9 +37,11 @@ BspEngine::BspEngine(const OsEnvironment& env, JobConfig job, Seed seed)
   HPCOS_CHECK(job_.ranks_per_node >= 1 && job_.threads_per_rank >= 1);
 }
 
-void BspEngine::set_trace(sim::TraceBuffer* trace, hw::CoreId track) {
+void BspEngine::set_trace(sim::TraceBuffer* trace, hw::CoreId track,
+                          SimTime anchor) {
   trace_ = trace;
   trace_track_ = track;
+  trace_anchor_ = anchor;
 }
 
 RunResult BspEngine::run(const Workload& workload) {
@@ -56,11 +58,12 @@ RunResult BspEngine::run(const Workload& workload) {
 
   // Phase span recording. The engine is analytic — there is no simulator
   // clock — so phases are laid out back to back on a virtual timeline
-  // starting at zero, which is exactly the per-rank time composition the
-  // result reports.
+  // starting at the anchor (zero by default; a DES node's wall clock when
+  // the caller wants the rank timeline overlaid on that node's trace),
+  // which is exactly the per-rank time composition the result reports.
   sim::TraceBuffer* tb = trace_;
   const bool tracing = tb != nullptr && tb->enabled();
-  SimTime cursor = SimTime::zero();
+  SimTime cursor = trace_anchor_;
   auto span = [&](std::uint64_t parent, SimTime at, SimTime dur,
                   std::string label,
                   sim::TraceCategory cat) -> std::uint64_t {
@@ -168,8 +171,12 @@ RunResult BspEngine::run(const Workload& workload) {
       if (imbalance_extra.is_negative()) imbalance_extra = SimTime::zero();
     }
 
-    // OS noise across the machine during the busy window (Eq. 1).
-    const SimTime noise_delay = noise.sample_global_delay(rank_time);
+    // OS noise across the machine during the busy window (Eq. 1). The
+    // attributed form draws the identical sequence, so tracing on/off
+    // never changes the simulated result.
+    const GlobalDelaySample noise_sample =
+        noise.sample_global_delay_attributed(rank_time);
+    const SimTime noise_delay = noise_sample.delay;
 
     // Communication.
     SimTime allreduce_time = SimTime::zero();
@@ -211,8 +218,20 @@ RunResult BspEngine::run(const Workload& workload) {
       phase(churn_med, "bsp:heap-churn", sim::TraceCategory::kUser);
       phase(churn_extra, "bsp:churn-tail", sim::TraceCategory::kUser);
       phase(imbalance_extra, "bsp:imbalance", sim::TraceCategory::kUser);
-      phase(noise_delay, "bsp:noise-wait",
-            sim::TraceCategory::kScheduler);
+      const SimTime wait_at = at;
+      const std::uint64_t wait = phase(noise_delay, "bsp:noise-wait",
+                                       sim::TraceCategory::kScheduler);
+      if (wait != 0 && !noise_sample.source.empty()) {
+        // Tag the wait with its dominant machine-noise source: the
+        // straggler analysis reads this child to answer "who stalled the
+        // barrier this iteration". The event duration is the worst hit;
+        // the remainder of the wait is the max-of-N jitter floor.
+        const SimTime event = noise_sample.worst_event.is_zero()
+                                  ? noise_delay
+                                  : noise_sample.worst_event;
+        span(wait, wait_at, event, "noise:" + noise_sample.source,
+             noise::trace_category(noise_sample.kind));
+      }
       const SimTime ar_at = at;
       const std::uint64_t ar = phase(allreduce_time, "bsp:allreduce",
                                      sim::TraceCategory::kCollective);

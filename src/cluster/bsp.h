@@ -53,7 +53,16 @@ class BspEngine {
   // churn, noise-wait, allreduce split, halo, barrier) into `trace` on
   // the synthetic timeline track `track` (used as the record's core id;
   // exporters turn it into a named rank track). nullptr detaches.
-  void set_trace(sim::TraceBuffer* trace, hw::CoreId track = 0);
+  //
+  // `anchor` places the rank timeline on an absolute clock: phase spans
+  // start at `anchor` instead of zero, so a run anchored at a DES node's
+  // current simulator time shares that node's wall timeline and FWQ/noise
+  // trace events can be overlaid directly on the bsp:* windows
+  // (obs/attrib). The default keeps the historical zero-based virtual
+  // timeline. The dominant machine-noise source of each iteration's
+  // noise-wait is tagged as a `noise:<source>` child span.
+  void set_trace(sim::TraceBuffer* trace, hw::CoreId track = 0,
+                 SimTime anchor = SimTime::zero());
 
   RunResult run(const Workload& workload);
 
@@ -69,6 +78,7 @@ class BspEngine {
   net::RdmaRegistrationModel rdma_;
   sim::TraceBuffer* trace_ = nullptr;
   hw::CoreId trace_track_ = 0;
+  SimTime trace_anchor_;
 };
 
 // Convenience: mean relative performance of `env` vs `baseline` over

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <string>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -15,16 +17,37 @@ namespace {
 // then merged in shard order, so the floating-point summation order — and
 // therefore the result — is independent of the host thread count.
 struct ShardAccumulator {
-  ShardAccumulator(const LogHistogram& layout, std::size_t heap_capacity)
-      : cdf(layout), heap_capacity(heap_capacity) {
+  ShardAccumulator(const LogHistogram& layout, std::size_t heap_capacity,
+                   std::size_t attrib_slots)
+      : cdf(layout),
+        stolen_us(attrib_slots, 0.0),
+        hit_iterations(attrib_slots, 0),
+        worst_us(attrib_slots, 0.0),
+        heap_capacity(heap_capacity) {
     worst.reserve(heap_capacity);
   }
 
   LogHistogram cdf;  // same binning as FwqCampaignResult::cdf
   double overhead_sum_us = 0.0;  // sum of (T_i - quantum) across everything
+  // Per-source ledger slots: profile source index, plus one trailing slot
+  // for the jitter floor. Each overhead term added to overhead_sum_us is
+  // mirrored into exactly one slot, so the slot totals reconcile with the
+  // campaign noise_rate up to fp reassociation.
+  std::vector<double> stolen_us;
+  std::vector<std::uint64_t> hit_iterations;
+  std::vector<double> worst_us;
   SimTime min_time = SimTime::max();
   SimTime max_time = SimTime::zero();
   std::uint64_t iterations = 0;
+
+  void attribute(std::size_t slot, double overhead_us,
+                 std::uint64_t iterations_hit) {
+    stolen_us[slot] += overhead_us;
+    hit_iterations[slot] += iterations_hit;
+  }
+  void attribute_worst(std::size_t slot, double overhead_us) {
+    worst_us[slot] = std::max(worst_us[slot], overhead_us);
+  }
 
   // Bounded worst-node selection: a min-heap of the K largest per-node
   // maxima seen by this shard. Replaces the old O(nodes) campaign-wide
@@ -54,9 +77,12 @@ struct ShardAccumulator {
 
 void simulate_node(const noise::AnalyticNoiseProfile& profile,
                    const FwqCampaignConfig& config,
-                   std::uint64_t iters_per_node, RngStream node_rng,
-                   ShardAccumulator& acc) {
+                   std::uint64_t iters_per_node,
+                   const std::unordered_map<std::string, std::size_t>&
+                       source_slot,
+                   RngStream node_rng, ShardAccumulator& acc) {
   const double quantum_us = config.work_quantum.to_us();
+  const std::size_t floor_slot = acc.stolen_us.size() - 1;
   noise::AnalyticNodeSampler sampler(profile, config.app_cores,
                                      node_rng.split(0));
   RngStream rng = node_rng.split(1);
@@ -66,6 +92,7 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
 
   // Materialize each noise hit as one (or part of one) iteration.
   for (const auto& s : sampler.active_sources()) {
+    const std::size_t slot = source_slot.at(s.name);
     const double interval_ns =
         static_cast<double>(s.mean_interval.count_ns());
     // Occurrence process at node scope (mean_interval is per core for
@@ -111,6 +138,8 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
               quantum_us + shared_us * rng.lognormal(0.0, jitter_sigma);
           acc.cdf.add(t_us);
           acc.overhead_sum_us += t_us - quantum_us;
+          acc.attribute(slot, t_us - quantum_us, 1);
+          acc.attribute_worst(slot, t_us - quantum_us);
           node_max = std::max(node_max, t_us);
         }
       } else {
@@ -118,6 +147,10 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
         acc.cdf.add_n(t_us, cores_per_hit);
         acc.overhead_sum_us +=
             (t_us - quantum_us) * static_cast<double>(cores_per_hit);
+        acc.attribute(slot,
+                      (t_us - quantum_us) * static_cast<double>(cores_per_hit),
+                      cores_per_hit);
+        acc.attribute_worst(slot, t_us - quantum_us);
         node_max = std::max(node_max, t_us);
       }
       hit_iterations += cores_per_hit;
@@ -131,10 +164,13 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
       acc.cdf.add_n(quantum_us + mean_us, rest * cores_per_hit);
       acc.overhead_sum_us +=
           mean_us * static_cast<double>(rest * cores_per_hit);
+      acc.attribute(slot, mean_us * static_cast<double>(rest * cores_per_hit),
+                    rest * cores_per_hit);
       double tail_sample_us = s.duration.sample_max(rest, rng).to_us();
       // The worst bulk hit's worst core also carries one jitter factor.
       if (jitter) tail_sample_us *= rng.lognormal(0.0, jitter_sigma);
       const double tail_us = quantum_us + tail_sample_us;
+      acc.attribute_worst(slot, tail_sample_us);
       node_max = std::max(node_max, tail_us);
       hit_iterations += rest * cores_per_hit;
     }
@@ -156,6 +192,10 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
       acc.cdf.add_n(t_us, weight);
       acc.overhead_sum_us +=
           (t_us - quantum_us) * static_cast<double>(weight);
+      acc.attribute(floor_slot,
+                    (t_us - quantum_us) * static_cast<double>(weight),
+                    t_us > quantum_us ? weight : 0);
+      acc.attribute_worst(floor_slot, t_us - quantum_us);
       node_max = std::max(node_max, t_us);
       acc.min_time = std::min(acc.min_time, SimTime::from_us(t_us));
       accounted += weight;
@@ -194,11 +234,21 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
   const auto heap_capacity = static_cast<std::size_t>(
       config.worst_heap_capacity > 0 ? config.worst_heap_capacity
                                      : std::max(config.worst_nodes_to_keep, 0));
+  // Ledger slots: one per profile source (profile order, stable whether or
+  // not any node activates the source) plus a trailing jitter-floor slot.
+  std::unordered_map<std::string, std::size_t> source_slot;
+  for (std::size_t i = 0; i < profile.sources.size(); ++i) {
+    HPCOS_CHECK_MSG(
+        source_slot.emplace(profile.sources[i].name, i).second,
+        "duplicate noise source name in profile");
+  }
+  const std::size_t attrib_slots = profile.sources.size() + 1;
+
   std::vector<ShardAccumulator> shards;
   shards.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     shards.emplace_back(result.cdf,  // copy of the (empty) target layout
-                        heap_capacity);
+                        heap_capacity, attrib_slots);
   }
 
   const RngStream root(config.seed, 0xF80);
@@ -211,13 +261,22 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
         const std::int64_t end =
             std::min(begin + config.nodes_per_shard, config.nodes);
         for (std::int64_t n = begin; n < end; ++n) {
-          simulate_node(profile, config, iters_per_node,
+          simulate_node(profile, config, iters_per_node, source_slot,
                         root.split(static_cast<std::uint64_t>(n)), acc);
         }
       },
       config.threads);
 
   // Merge in rank (shard) order.
+  result.per_source.resize(attrib_slots);
+  for (std::size_t i = 0; i < profile.sources.size(); ++i) {
+    result.per_source[i].source = profile.sources[i].name;
+    result.per_source[i].kind = profile.sources[i].kind;
+    result.per_source[i].scope = profile.sources[i].scope;
+  }
+  result.per_source.back().source = "jitter-floor";
+  result.per_source.back().kind = noise::SourceKind::kHardware;
+
   SimTime global_min = SimTime::max();
   SimTime global_max = SimTime::zero();
   double overhead_sum_us = 0.0;
@@ -230,6 +289,12 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
     global_min = std::min(global_min, acc.min_time);
     global_max = std::max(global_max, acc.max_time);
     result.total_iterations += acc.iterations;
+    for (std::size_t i = 0; i < attrib_slots; ++i) {
+      result.per_source[i].stolen_us += acc.stolen_us[i];
+      result.per_source[i].hit_iterations += acc.hit_iterations[i];
+      result.per_source[i].worst_us =
+          std::max(result.per_source[i].worst_us, acc.worst_us[i]);
+    }
     worst_candidates.insert(worst_candidates.end(), acc.worst.begin(),
                             acc.worst.end());
     topk_pushes += acc.topk_pushes;

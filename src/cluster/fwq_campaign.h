@@ -75,6 +75,21 @@ struct FwqCampaignConfig {
   Seed seed{2021};
 };
 
+// Where one campaign's overhead went: total time stolen by one noise
+// source across every node and core, as accumulated into the CDF. The
+// stolen_us terms mirror the overhead sums exactly (same shard order), so
+//   sum(per_source[i].stolen_us) == stats.noise_rate * t_min_us * samples
+// up to floating-point reassociation — the attribution ledger's
+// reconciliation identity (obs/attrib).
+struct SourceAttribution {
+  std::string source;  // spec name; "jitter-floor" for the non-hit bulk
+  noise::SourceKind kind = noise::SourceKind::kHardware;
+  noise::SourceScope scope = noise::SourceScope::kPerCore;
+  double stolen_us = 0.0;          // sum of (T_i - quantum) it caused
+  std::uint64_t hit_iterations = 0;  // iterations it lengthened
+  double worst_us = 0.0;           // worst single overhead it caused
+};
+
 struct FwqCampaignResult {
   // All iteration lengths (us), log-binned for the CDF plot.
   LogHistogram cdf{1000.0, 1e6, 2048};
@@ -82,6 +97,9 @@ struct FwqCampaignResult {
   std::uint64_t total_iterations = 0;
   // Worst (longest) iteration per retained node, sorted descending (us).
   std::vector<double> worst_node_max_us;
+  // Per-source ledger in profile order (inactive sources kept with zero
+  // counts so the layout is profile-stable), with the jitter floor last.
+  std::vector<SourceAttribution> per_source;
 };
 
 FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,

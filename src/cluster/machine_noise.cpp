@@ -76,14 +76,35 @@ MachineNoiseSampler::MachineNoiseSampler(
 }
 
 SimTime MachineNoiseSampler::sample_global_delay(SimTime window) {
+  return sample_global_delay_attributed(window).delay;
+}
+
+GlobalDelaySample MachineNoiseSampler::sample_global_delay_attributed(
+    SimTime window) {
+  GlobalDelaySample out;
   SimTime worst = SimTime::zero();
+  const ActiveSource* dominant = nullptr;
   const auto window_ns = static_cast<double>(window.count_ns());
   for (auto& s : sources_) {
     const std::uint64_t k = rng_.poisson(s.arrivals_per_ns * window_ns);
     if (k == 0) continue;
-    worst = std::max(worst, s.spec.duration.sample_max(k, rng_));
+    out.hits += k;
+    const SimTime event = s.spec.duration.sample_max(k, rng_);
+    if (event > worst) {
+      worst = event;
+      dominant = &s;
+    }
   }
-  return worst + window.scaled(jitter_worst_fraction_);
+  out.worst_event = worst;
+  out.delay = worst + window.scaled(jitter_worst_fraction_);
+  if (dominant != nullptr) {
+    out.source = dominant->spec.name;
+    out.kind = dominant->spec.kind;
+  } else if (out.delay > SimTime::zero()) {
+    out.source = "jitter-floor";
+    out.kind = noise::SourceKind::kHardware;
+  }
+  return out;
 }
 
 double MachineNoiseSampler::expected_rate() const { return expected_rate_; }

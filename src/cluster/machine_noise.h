@@ -11,12 +11,29 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "noise/analytic.h"
 
 namespace hpcos::cluster {
+
+// One sampled barrier wait, with the noise source that caused it. The
+// attribution layer (obs/attrib) uses the tag to explain stragglers; the
+// delay itself is identical to what sample_global_delay returns (same
+// draws in the same order, so tagging never perturbs a seeded run).
+struct GlobalDelaySample {
+  SimTime delay;        // what the barrier waits (worst event + jitter)
+  SimTime worst_event;  // duration of the dominant discrete hit (zero if
+                        // only the jitter floor contributed)
+  // Name/kind of the dominant source; "jitter-floor" when no discrete
+  // source hit within the window but the floor stretched it; "" when the
+  // delay is exactly zero.
+  std::string source;
+  noise::SourceKind kind = noise::SourceKind::kHardware;
+  std::uint64_t hits = 0;  // discrete hits across all sources this window
+};
 
 class MachineNoiseSampler {
  public:
@@ -27,6 +44,10 @@ class MachineNoiseSampler {
   // Max extra delay any thread suffers during a `window` of busy time; a
   // global barrier at the end of the window waits exactly this long.
   SimTime sample_global_delay(SimTime window);
+
+  // Same draw sequence as sample_global_delay, plus attribution of the
+  // dominant contributor.
+  GlobalDelaySample sample_global_delay_attributed(SimTime window);
 
   // Deterministic estimate of the average per-thread overhead fraction
   // (for sanity checks against Eq. 2 style rates).

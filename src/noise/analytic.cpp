@@ -104,6 +104,29 @@ std::string to_string(SourceKind k) {
   return "?";
 }
 
+sim::TraceCategory trace_category(SourceKind k) {
+  switch (k) {
+    case SourceKind::kDaemon:
+    case SourceKind::kSar:
+      return sim::TraceCategory::kDaemon;
+    case SourceKind::kKworker:
+      return sim::TraceCategory::kKworker;
+    case SourceKind::kBlkMq:
+      return sim::TraceCategory::kBlkMq;
+    case SourceKind::kPmuRead:
+      return sim::TraceCategory::kPmuRead;
+    case SourceKind::kTlbiStorm:
+      return sim::TraceCategory::kTlbShootdown;
+    case SourceKind::kDeviceIrq:
+      return sim::TraceCategory::kIrq;
+    case SourceKind::kResidualTick:
+      return sim::TraceCategory::kTimerTick;
+    case SourceKind::kHardware:
+      return sim::TraceCategory::kUser;
+  }
+  return sim::TraceCategory::kUser;
+}
+
 AnalyticNodeSampler::AnalyticNodeSampler(const AnalyticNoiseProfile& profile,
                                          int app_cores, RngStream rng)
     : base_jitter_mean_(profile.base_jitter_mean),

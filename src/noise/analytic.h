@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "sim/trace.h"
 
 namespace hpcos::noise {
 
@@ -65,6 +66,11 @@ enum class SourceKind : std::uint8_t {
   kHardware,  // non-OS jitter floor events (thermal, shared-resource)
 };
 std::string to_string(SourceKind k);
+
+// Trace category a kind's events are recorded under — the bridge between
+// the statistical source table and ftrace-style TraceRecord analysis
+// (noise tagging in the BSP engine, the trace-side attribution ledger).
+sim::TraceCategory trace_category(SourceKind k);
 
 struct NoiseSourceSpec {
   std::string name;

@@ -1,0 +1,138 @@
+#include "obs/attrib/critical_path.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/span_tree.h"
+
+namespace hpcos::obs::attrib {
+namespace {
+
+constexpr const char* kNoisePrefix = "noise:";
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+StragglerReport build_straggler_report(
+    const std::vector<sim::TraceRecord>& records) {
+  StragglerReport report;
+  const sim::SpanForest forest(records);
+  const auto tracks = forest.roots_by_track("bsp:iteration");
+  report.tracks = tracks.size();
+  if (tracks.empty()) return report;
+
+  std::size_t max_iters = 0;
+  for (const auto& [core, roots] : tracks) {
+    max_iters = std::max(max_iters, roots.size());
+  }
+
+  std::map<std::string, StragglerSourceSummary> by_source;
+  for (std::size_t n = 0; n < max_iters; ++n) {
+    // Straggler = slowest among the tracks that reached iteration n
+    // (lowest track id on exact ties, for determinism).
+    std::size_t straggler_idx = records.size();
+    hw::CoreId straggler_track = hw::kInvalidCore;
+    SimTime slowest = SimTime::zero();
+    SimTime fastest = SimTime::max();
+    for (const auto& [core, roots] : tracks) {
+      if (n >= roots.size()) continue;
+      const SimTime d = records[roots[n]].duration;
+      fastest = std::min(fastest, d);
+      if (straggler_idx == records.size() || d > slowest) {
+        slowest = d;
+        straggler_idx = roots[n];
+        straggler_track = core;
+      }
+    }
+    if (straggler_idx == records.size()) continue;
+
+    IterationStraggler it;
+    it.iteration = n;
+    it.track = straggler_track;
+    it.duration_us = slowest.to_us();
+    it.min_us = fastest.to_us();
+    it.excess_us = (slowest - fastest).to_us();
+
+    // Walk the straggler's phase children for the noise wait (and its
+    // noise:<source> tag) and the compute window.
+    for (std::size_t c : forest.children(straggler_idx)) {
+      const auto& child = records[c];
+      if (child.label == "bsp:compute") {
+        it.compute_begin = child.time;
+        it.compute_end = child.time + child.duration;
+      } else if (child.label == "bsp:noise-wait") {
+        it.noise_wait_us = child.duration.to_us();
+        for (std::size_t g : forest.children(c)) {
+          const auto& tag = records[g];
+          if (!starts_with(tag.label, kNoisePrefix)) continue;
+          it.dominant_source = tag.label.substr(6);
+          it.dominant_category = tag.category;
+          it.dominant_us = tag.duration.to_us();
+        }
+      }
+    }
+
+    if (!it.dominant_source.empty()) {
+      StragglerSourceSummary& s = by_source[it.dominant_source];
+      s.source = it.dominant_source;
+      ++s.iterations;
+      s.dominant_us += it.dominant_us;
+      s.excess_us += it.excess_us;
+    }
+    report.iterations.push_back(std::move(it));
+  }
+
+  report.by_source.reserve(by_source.size());
+  for (auto& [name, summary] : by_source) {
+    report.by_source.push_back(std::move(summary));
+  }
+  std::sort(report.by_source.begin(), report.by_source.end(),
+            [](const StragglerSourceSummary& a,
+               const StragglerSourceSummary& b) {
+              if (a.dominant_us != b.dominant_us) {
+                return a.dominant_us > b.dominant_us;
+              }
+              return a.source < b.source;
+            });
+  if (!report.by_source.empty()) {
+    report.dominant_source = report.by_source.front().source;
+  }
+  return report;
+}
+
+void overlay_noise_events(StragglerReport& report,
+                          const std::vector<sim::TraceRecord>& node_records,
+                          std::size_t max_events) {
+  for (auto& it : report.iterations) {
+    it.overlay.clear();
+    if (it.compute_end <= it.compute_begin) continue;
+    for (const auto& r : node_records) {
+      if (starts_with(r.label, "bsp:")) continue;
+      // Half-open intersection; zero-duration markers count when they
+      // fall inside the window.
+      const SimTime end = r.time + r.duration;
+      const bool intersects =
+          r.duration.is_zero()
+              ? r.time >= it.compute_begin && r.time < it.compute_end
+              : r.time < it.compute_end && end > it.compute_begin;
+      if (!intersects) continue;
+      it.overlay.push_back(OverlayEvent{.time = r.time,
+                                        .duration = r.duration,
+                                        .label = r.label,
+                                        .category = r.category,
+                                        .core = r.core});
+    }
+    std::sort(it.overlay.begin(), it.overlay.end(),
+              [](const OverlayEvent& a, const OverlayEvent& b) {
+                if (a.duration != b.duration) return a.duration > b.duration;
+                if (a.time != b.time) return a.time < b.time;
+                return a.label < b.label;
+              });
+    if (it.overlay.size() > max_events) it.overlay.resize(max_events);
+  }
+}
+
+}  // namespace hpcos::obs::attrib

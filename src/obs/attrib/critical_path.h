@@ -1,0 +1,93 @@
+// BSP straggler / critical-path analysis over anchored phase traces.
+//
+// ROADMAP item: BSP phase spans used to live on a synthetic per-rank
+// virtual timeline only; with BspEngine::set_trace's anchor they can be
+// placed on a DES node's wall clock, which makes two questions answerable
+// from traces alone:
+//
+//  * per iteration, which rank track was the straggler the barrier waited
+//    for, and which machine-noise source stalled it (the `noise:<source>`
+//    child the engine tags under bsp:noise-wait)?
+//  * what was happening on the straggler's node during its compute
+//    window — i.e. overlay the node's DES/FWQ noise events onto the
+//    bsp:compute span and list the intersecting kernel activity.
+//
+// The per-iteration lookup uses sim::SpanForest::roots_by_track: the n-th
+// "bsp:iteration" root of each core track is iteration n of that rank.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace hpcos::obs::attrib {
+
+// A node-trace event that intersects a straggler's compute window.
+struct OverlayEvent {
+  SimTime time;
+  SimTime duration;
+  std::string label;
+  sim::TraceCategory category = sim::TraceCategory::kUser;
+  hw::CoreId core = hw::kInvalidCore;
+};
+
+// One iteration's critical-path verdict.
+struct IterationStraggler {
+  std::size_t iteration = 0;    // n-th bsp:iteration on every track
+  hw::CoreId track = hw::kInvalidCore;  // slowest rank track
+  double duration_us = 0.0;     // straggler's iteration time
+  double min_us = 0.0;          // fastest track's iteration time
+  double excess_us = 0.0;       // duration - min: what the barrier lost
+  double noise_wait_us = 0.0;   // straggler's bsp:noise-wait phase
+  // Dominant machine-noise source of the straggler's noise wait (the
+  // engine's noise:<source> tag); "" when the iteration had no noise wait.
+  std::string dominant_source;
+  sim::TraceCategory dominant_category = sim::TraceCategory::kUser;
+  double dominant_us = 0.0;  // that event's duration
+  // The straggler's bsp:compute window on the (anchored) timeline; the
+  // range DES noise events are overlaid onto.
+  SimTime compute_begin;
+  SimTime compute_end;
+  // Node-trace events intersecting the compute window, longest first
+  // (filled by overlay_noise_events; empty otherwise).
+  std::vector<OverlayEvent> overlay;
+};
+
+// Aggregate view: how often and how expensively one source stalled the
+// critical path.
+struct StragglerSourceSummary {
+  std::string source;
+  std::uint64_t iterations = 0;  // iterations it dominated
+  double dominant_us = 0.0;      // summed event durations
+  double excess_us = 0.0;        // summed straggler excess it presided over
+};
+
+struct StragglerReport {
+  std::size_t tracks = 0;  // rank tracks participating
+  std::vector<IterationStraggler> iterations;
+  // Descending dominant_us, ties by name; sources that never dominated an
+  // iteration do not appear.
+  std::vector<StragglerSourceSummary> by_source;
+  // by_source front's name; "" when no iteration had a tagged noise wait.
+  std::string dominant_source;
+};
+
+// Build the report from BSP phase trace records (any number of rank
+// tracks in one buffer; iterations only compared across tracks that
+// reached them).
+StragglerReport build_straggler_report(
+    const std::vector<sim::TraceRecord>& records);
+
+// Overlay a DES node trace onto each iteration's compute window: fills
+// IterationStraggler::overlay with the node records (plain events and
+// spans alike, bsp:* spans excluded) whose [time, time+duration)
+// intersects [compute_begin, compute_end), longest first, truncated to
+// `max_events` per iteration.
+void overlay_noise_events(StragglerReport& report,
+                          const std::vector<sim::TraceRecord>& node_records,
+                          std::size_t max_events = 8);
+
+}  // namespace hpcos::obs::attrib

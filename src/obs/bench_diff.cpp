@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cfloat>
 #include <cmath>
+#include <initializer_list>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/bench_report.h"
 
@@ -27,6 +29,59 @@ std::vector<std::pair<std::string, double>> flatten_metrics(
     }
   }
   return out;
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[b.size()];
+}
+
+// An unrecognized key in a tolerance policy is almost certainly a typo
+// ("patern", "ingore") that would silently disable the rule it was meant
+// to configure — precisely the failure a regression gate must not have.
+// Unknown keys are therefore collected across the whole document and
+// reported as a hard error, likeliest typos first.
+struct UnknownKey {
+  std::string location;  // e.g. "metrics[3].patern"
+  std::string suggestion;
+  std::size_t distance = 0;
+};
+
+void collect_unknown_keys(const JsonValue& obj, const std::string& where,
+                          std::initializer_list<const char*> allowed,
+                          std::vector<UnknownKey>& out) {
+  for (const auto& [key, value] : obj.members()) {
+    (void)value;
+    bool known = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    UnknownKey u;
+    u.location = where.empty() ? key : where + "." + key;
+    u.distance = std::string::npos;
+    for (const char* a : allowed) {
+      const std::size_t d = edit_distance(key, a);
+      if (d < u.distance) {
+        u.distance = d;
+        u.suggestion = a;
+      }
+    }
+    out.push_back(std::move(u));
+  }
 }
 
 MetricTolerance parse_tolerance_fields(const JsonValue& obj,
@@ -87,6 +142,37 @@ DiffPolicy parse_tolerance_policy(const JsonValue& doc) {
     throw std::runtime_error(std::string("tolerances: schema is not \"") +
                              kBenchTolerancesSchema + "\"");
   }
+  // Strict key validation before any rule parsing, so a typoed "pattern"
+  // reports as an unknown key with a suggestion instead of "missing key".
+  std::vector<UnknownKey> unknown;
+  collect_unknown_keys(doc, "", {"schema", "default", "metrics"}, unknown);
+  if (const JsonValue* def = doc.find("default"); def != nullptr) {
+    collect_unknown_keys(*def, "default", {"rel", "abs", "ignore"}, unknown);
+  }
+  if (const JsonValue* metrics = doc.find("metrics"); metrics != nullptr) {
+    const auto& entries = metrics->as_array();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      collect_unknown_keys(entries[i],
+                           "metrics[" + std::to_string(i) + "]",
+                           {"pattern", "rel", "abs", "ignore"}, unknown);
+    }
+  }
+  if (!unknown.empty()) {
+    std::stable_sort(unknown.begin(), unknown.end(),
+                     [](const UnknownKey& a, const UnknownKey& b) {
+                       return a.distance < b.distance;
+                     });
+    std::string msg = "tolerances: unknown key(s):";
+    for (const UnknownKey& u : unknown) {
+      msg += " " + u.location;
+      if (u.distance <= 3) {
+        msg += " (did you mean \"" + u.suggestion + "\"?)";
+      }
+      msg += ";";
+    }
+    throw std::runtime_error(msg);
+  }
+
   DiffPolicy policy;
   if (const JsonValue* def = doc.find("default")) {
     policy.fallback = parse_tolerance_fields(*def, MetricTolerance{});

@@ -79,7 +79,12 @@ JsonValue chrome_trace_document(const std::vector<TraceRecord>& records,
 
 JsonValue chrome_trace_document(const std::vector<ChromeTraceGroup>& groups) {
   JsonValue events = JsonValue::array();
-  for (const auto& group : groups) append_metadata(events, group.options);
+  // Groups with no records contribute no metadata either: a process/thread
+  // name with zero events would show up as an empty track in the viewer,
+  // and an all-empty export must still be a valid (empty) document.
+  for (const auto& group : groups) {
+    if (!group.records.empty()) append_metadata(events, group.options);
+  }
   std::vector<std::pair<const TraceRecord*, const ChromeTraceOptions*>>
       ordered;
   for (const auto& group : groups) {

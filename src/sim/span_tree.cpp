@@ -1,0 +1,68 @@
+#include "sim/span_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hpcos::sim {
+
+SpanForest::SpanForest(const std::vector<TraceRecord>& records)
+    : records_(&records),
+      children_(records.size()),
+      self_time_(records.size(), SimTime::zero()) {
+  // Span id -> record index. Built over the whole snapshot first, so
+  // emission order never matters (a child recorded before its parent —
+  // e.g. an inner phase completing before the enclosing operation is
+  // closed — still links up). Duplicate span ids keep the first record.
+  std::unordered_map<std::uint64_t, std::size_t> by_span;
+  by_span.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].span != 0) by_span.emplace(records[i].span, i);
+  }
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    if (r.span == 0) continue;  // plain event, not part of a span tree
+    if (r.parent == 0) {
+      roots_.push_back(i);
+      continue;
+    }
+    const auto parent = by_span.find(r.parent);
+    if (parent == by_span.end() || parent->second == i) {
+      // Orphan: the parent was evicted by ring wraparound (or the link is
+      // degenerate). Promote to root so the subtree still aggregates.
+      roots_.push_back(i);
+    } else {
+      children_[parent->second].push_back(i);
+    }
+  }
+
+  const auto by_time = [&](std::size_t a, std::size_t b) {
+    if (records[a].time != records[b].time) {
+      return records[a].time < records[b].time;
+    }
+    return records[a].span < records[b].span;
+  };
+  for (auto& kids : children_) std::sort(kids.begin(), kids.end(), by_time);
+  std::sort(roots_.begin(), roots_.end(), by_time);
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].span == 0) continue;
+    SimTime covered;
+    for (const std::size_t c : children_[i]) covered += records[c].duration;
+    const SimTime self = records[i].duration - covered;
+    self_time_[i] = self.is_negative() ? SimTime::zero() : self;
+    total_self_time_ += self_time_[i];
+  }
+}
+
+std::map<hw::CoreId, std::vector<std::size_t>> SpanForest::roots_by_track(
+    const std::string& label) const {
+  std::map<hw::CoreId, std::vector<std::size_t>> tracks;
+  for (const std::size_t i : roots_) {
+    const TraceRecord& r = (*records_)[i];
+    if (r.label == label) tracks[r.core].push_back(i);  // roots_ is sorted
+  }
+  return tracks;
+}
+
+}  // namespace hpcos::sim

@@ -1,0 +1,66 @@
+// Span-tree reconstruction and self-time math over TraceRecord sets.
+//
+// PRs 2-3 made kernel models emit parent-linked span trees (offloaded
+// syscalls, page-fault/TLBI trees, BSP phase trees); this module is the
+// shared analysis substrate over them: rebuild the forest from the flat
+// record stream (which may be emitted out of order and may have lost
+// ancestors to ring-buffer wraparound), compute each span's *self time*
+// (its duration minus the duration covered by its children — the quantity
+// per-source attribution sums, so nested spans never double count), and
+// group per-track root sequences (the "i-th bsp:iteration on rank track
+// r" lookup the straggler analysis needs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace hpcos::sim {
+
+// Immutable index over one snapshot. Indices refer to the `records`
+// vector the forest was built from; the caller keeps it alive.
+class SpanForest {
+ public:
+  explicit SpanForest(const std::vector<TraceRecord>& records);
+
+  const std::vector<TraceRecord>& records() const { return *records_; }
+
+  // Indices of tree roots: spanned records whose parent is 0 or whose
+  // parent record was evicted from the ring (orphans are promoted to
+  // roots so truncated trees still aggregate instead of vanishing).
+  const std::vector<std::size_t>& roots() const { return roots_; }
+
+  // Children of the record at `index`, ordered by (time, span id).
+  const std::vector<std::size_t>& children(std::size_t index) const {
+    return children_[index];
+  }
+
+  // duration minus the summed duration of direct children, clamped at
+  // zero (a child longer than its parent is a recording artifact, not
+  // negative time).
+  SimTime self_time(std::size_t index) const { return self_time_[index]; }
+
+  // Sum of self times over every spanned record (== sum of root durations
+  // when each tree's children exactly tile their parents).
+  SimTime total_self_time() const { return total_self_time_; }
+
+  // Root indices carrying `label`, grouped by the record's core (the
+  // synthetic rank track for BSP traces), each group in time order. The
+  // n-th entry of a track's vector is that track's n-th such span — e.g.
+  // iteration n of the rank timeline.
+  std::map<hw::CoreId, std::vector<std::size_t>> roots_by_track(
+      const std::string& label) const;
+
+ private:
+  const std::vector<TraceRecord>* records_;
+  std::vector<std::size_t> roots_;
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<SimTime> self_time_;
+  SimTime total_self_time_;
+};
+
+}  // namespace hpcos::sim

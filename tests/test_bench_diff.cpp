@@ -87,6 +87,93 @@ TEST(TolerancePolicy, RejectsWrongSchemaAndNegativeTolerances) {
                std::runtime_error);
 }
 
+// A typoed key in a tolerance file would silently disable the rule it was
+// meant to configure — the parser must reject unknown keys outright, with
+// the likeliest typos reported first.
+
+std::string policy_error(const char* json) {
+  try {
+    parse_tolerance_policy(JsonValue::parse(json));
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(TolerancePolicy, UnknownKeysAreHardErrorsWithSuggestions) {
+  const std::string err = policy_error(R"({
+    "schema": "hpcos-bench-tolerances/1",
+    "metrics": [
+      {"patern": "a.*", "rel": 0.5}
+    ]
+  })");
+  ASSERT_NE(err, "");
+  EXPECT_NE(err.find("unknown key"), std::string::npos);
+  EXPECT_NE(err.find("metrics[0].patern"), std::string::npos);
+  EXPECT_NE(err.find("did you mean \"pattern\"?"), std::string::npos);
+
+  const std::string def_err = policy_error(R"({
+    "schema": "hpcos-bench-tolerances/1",
+    "default": {"ingore": true}
+  })");
+  EXPECT_NE(def_err.find("default.ingore"), std::string::npos);
+  EXPECT_NE(def_err.find("did you mean \"ignore\"?"), std::string::npos);
+
+  // A key nothing like any allowed key gets no (misleading) suggestion.
+  const std::string far_err = policy_error(R"({
+    "schema": "hpcos-bench-tolerances/1",
+    "widgets": []
+  })");
+  EXPECT_NE(far_err.find("widgets"), std::string::npos);
+  EXPECT_EQ(far_err.find("did you mean"), std::string::npos);
+}
+
+TEST(TolerancePolicy, UnknownKeysRankedByEditDistance) {
+  // "rell" (distance 1 to "rel") must be reported before "bogus_key"
+  // (distance > 3), regardless of document order.
+  const std::string err = policy_error(R"({
+    "schema": "hpcos-bench-tolerances/1",
+    "metrics": [
+      {"pattern": "a.*", "bogus_key": 1},
+      {"pattern": "b.*", "rell": 0.5}
+    ]
+  })");
+  ASSERT_NE(err, "");
+  const auto near_pos = err.find("metrics[1].rell");
+  const auto far_pos = err.find("metrics[0].bogus_key");
+  ASSERT_NE(near_pos, std::string::npos);
+  ASSERT_NE(far_pos, std::string::npos);
+  EXPECT_LT(near_pos, far_pos);
+}
+
+TEST(TolerancePolicy, TypoedPatternReportsAsUnknownKeyNotMissingKey) {
+  // Key validation runs before rule parsing, so the error explains the
+  // typo instead of complaining that "pattern" is missing.
+  const std::string err = policy_error(R"({
+    "schema": "hpcos-bench-tolerances/1",
+    "metrics": [{"patern": "a.*"}]
+  })");
+  EXPECT_NE(err.find("metrics[0].patern"), std::string::npos);
+  EXPECT_EQ(err.find("missing"), std::string::npos);
+}
+
+TEST(TolerancePolicy, CommittedGateToleranceFileShapeStillParses) {
+  // The shape of bench/baselines/tolerances.json must stay valid under
+  // the strict-key check.
+  const DiffPolicy policy = parse_tolerance_policy(JsonValue::parse(R"({
+    "schema": "hpcos-bench-tolerances/1",
+    "default": {"rel": 0.02, "abs": 1e-9},
+    "metrics": [
+      {"pattern": "parallel.speedup", "ignore": true},
+      {"pattern": "registry.overhead_ratio", "ignore": true},
+      {"pattern": "shard_sweep.*.wall_s", "ignore": true},
+      {"pattern": "host.*", "ignore": true}
+    ]
+  })"));
+  EXPECT_TRUE(policy.lookup("host.wall_s").ignore);
+  EXPECT_FALSE(policy.lookup("attrib.total_stolen_us").ignore);
+}
+
 // ----------------------------------------------------------------- diff
 
 TEST(BenchDiff, PassesWithinTolerance) {

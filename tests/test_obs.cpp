@@ -221,6 +221,45 @@ TEST(ChromeTrace, ExportWritesLoadableFile) {
   std::remove(path.c_str());
 }
 
+TEST(ChromeTrace, EmptyRecordSetExportsValidEmptyDocument) {
+  const auto doc = chrome_trace_document(
+      std::vector<sim::TraceRecord>{},
+      sim::ChromeTraceOptions{.pid = 3, .process_name = "node3"});
+  EXPECT_EQ(sim::validate_chrome_trace(doc), "");
+  // No events -> no metadata either: a named process with zero events
+  // would render as an empty track in the viewer.
+  EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+}
+
+TEST(ChromeTrace, EmptyGroupsContributeNoMetadata) {
+  std::vector<sim::ChromeTraceGroup> groups(3);
+  groups[0].records = span_tree_records();
+  groups[0].options.pid = 1;
+  groups[0].options.process_name = "node1";
+  groups[1].options.pid = 2;  // zero-span group: must vanish entirely
+  groups[1].options.process_name = "node2";
+  groups[1].options.thread_names = {{0, "rank 0 @ node 2"}};
+  // groups[2] stays default-empty.
+  const auto doc = chrome_trace_document(groups);
+  EXPECT_EQ(sim::validate_chrome_trace(doc), "");
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 4u);  // 3 records + node1's process_name only
+  std::size_t metadata = 0;
+  for (const auto& e : events) {
+    EXPECT_EQ(e.at("pid").as_number(), 1.0);
+    if (e.at("ph").as_string() == "M") ++metadata;
+  }
+  EXPECT_EQ(metadata, 1u);
+}
+
+TEST(ChromeTrace, AllEmptyGroupsYieldValidEmptyDocument) {
+  std::vector<sim::ChromeTraceGroup> groups(2);
+  groups[0].options.process_name = "ghost";
+  const auto doc = chrome_trace_document(groups);
+  EXPECT_EQ(sim::validate_chrome_trace(doc), "");
+  EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+}
+
 // --------------------------------------------------------- bench report
 
 TEST(BenchReport, RoundTripValidates) {
