@@ -35,6 +35,7 @@
 #include "noise/fwq.h"
 #include "obs/bench_report.h"
 #include "obs/registry.h"
+#include "obs/timeseries/openmetrics.h"
 #include "sim/chrome_trace.h"
 
 namespace {
@@ -355,6 +356,12 @@ int main(int argc, char** argv) {
                     linux_bsp.total.to_ms());
   report.add_metric("obs_report.bsp_mck_total_ms", "ms",
                     mck_bsp.total.to_ms());
+  // Every registry counter under its raw dotted name; the OpenMetrics
+  // exposition preserves the same names in its `name` label, so the two
+  // exports stay round-trippable (pinned by the ObsRoundTrip test).
+  obs::ts::add_registry_metrics(report, linux_node->registry(),
+                                "counter.linux");
+  obs::ts::add_registry_metrics(report, mk_node->registry(), "counter.mk");
   report.add_metric(
       "host.wall_s", "s",
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -59,6 +59,37 @@ struct ShardAccumulator {
   std::uint64_t topk_pushes = 0;
   std::uint64_t topk_evictions = 0;
 
+  // Optional streaming timeline, accumulated shard-locally like the
+  // ledger slots and merged in shard order.
+  bool timeline = false;
+  std::vector<obs::ts::TimeSeries> series;    // per ledger slot
+  std::vector<QuantileSketch> sketches;       // per ledger slot
+  obs::ts::NodeTimeGrid grid;
+
+  void enable_timeline(const FwqCampaignConfig& config, SimTime resolution,
+                       std::size_t slots) {
+    timeline = true;
+    series.reserve(slots);
+    sketches.reserve(slots);
+    for (std::size_t i = 0; i < slots; ++i) {
+      series.emplace_back(resolution, config.timeline_buckets);
+      sketches.emplace_back(config.sketch_relative_error);
+    }
+    grid = obs::ts::NodeTimeGrid(config.nodes, config.duration_per_core,
+                                 config.heatmap_rows, config.heatmap_cols);
+  }
+
+  // `weight` iterations lost `overhead_us` each at virtual time t on
+  // `node`. The series sum adds the same overhead * weight products as the
+  // ledger's attribute(), so per-slot totals reconcile.
+  void timeline_record(std::size_t slot, std::int64_t node, SimTime t,
+                       double overhead_us, std::uint64_t weight) {
+    if (!timeline || weight == 0) return;
+    series[slot].record_n(t, overhead_us, weight);
+    sketches[slot].add(overhead_us > 0.0 ? overhead_us : 0.0, weight);
+    grid.add(node, t, overhead_us * static_cast<double>(weight));
+  }
+
   void keep_worst(double node_max) {
     ++topk_pushes;
     if (heap_capacity == 0) return;
@@ -80,12 +111,19 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
                    std::uint64_t iters_per_node,
                    const std::unordered_map<std::string, std::size_t>&
                        source_slot,
-                   RngStream node_rng, ShardAccumulator& acc) {
+                   std::int64_t node, RngStream node_rng,
+                   ShardAccumulator& acc) {
   const double quantum_us = config.work_quantum.to_us();
   const std::size_t floor_slot = acc.stolen_us.size() - 1;
   noise::AnalyticNodeSampler sampler(profile, config.app_cores,
                                      node_rng.split(0));
   RngStream rng = node_rng.split(1);
+  // Timeline timestamps draw from a dedicated substream: enabling the
+  // timeline must not shift any draw in the sampler/rng sequences above
+  // (the committed bench baselines depend on them).
+  RngStream trng = node_rng.split(2);
+  const bool tl = acc.timeline;
+  const std::int64_t dur_ns = config.duration_per_core.count_ns();
 
   double node_max = quantum_us;
   std::uint64_t hit_iterations = 0;
@@ -132,6 +170,11 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
         std::min<std::uint64_t>(k, config.max_materialized_hits);
     for (std::uint64_t i = 0; i < materialize; ++i) {
       const double shared_us = s.duration.sample(rng).to_us();
+      // One event time per hit (shared across cores for kAllCores — the
+      // same occurrence lengthens every core's iteration).
+      const SimTime t_event =
+          tl ? trng.uniform_time(SimTime::zero(), config.duration_per_core)
+             : SimTime::zero();
       if (jitter) {
         for (std::uint64_t c = 0; c < cores_per_hit; ++c) {
           const double t_us =
@@ -140,6 +183,7 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
           acc.overhead_sum_us += t_us - quantum_us;
           acc.attribute(slot, t_us - quantum_us, 1);
           acc.attribute_worst(slot, t_us - quantum_us);
+          acc.timeline_record(slot, node, t_event, t_us - quantum_us, 1);
           node_max = std::max(node_max, t_us);
         }
       } else {
@@ -151,6 +195,8 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
                       (t_us - quantum_us) * static_cast<double>(cores_per_hit),
                       cores_per_hit);
         acc.attribute_worst(slot, t_us - quantum_us);
+        acc.timeline_record(slot, node, t_event, t_us - quantum_us,
+                            cores_per_hit);
         node_max = std::max(node_max, t_us);
       }
       hit_iterations += cores_per_hit;
@@ -166,6 +212,24 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
           mean_us * static_cast<double>(rest * cores_per_hit);
       acc.attribute(slot, mean_us * static_cast<double>(rest * cores_per_hit),
                     rest * cores_per_hit);
+      if (tl) {
+        // Spread the bulk across evenly-spaced midpoints (deterministic,
+        // no RNG): the bulk is a rate, not individual events, so a uniform
+        // spread is the faithful timeline shape.
+        const std::uint64_t total = rest * cores_per_hit;
+        const std::uint64_t points =
+            std::min<std::uint64_t>(rest, config.timeline_buckets);
+        std::uint64_t spread = 0;
+        for (std::uint64_t j = 0; j < points; ++j) {
+          const std::uint64_t w =
+              (j == points - 1) ? total - spread : total / points;
+          spread += w;
+          const SimTime t = SimTime::ns(
+              dur_ns * (2 * static_cast<std::int64_t>(j) + 1) /
+              (2 * static_cast<std::int64_t>(points)));
+          acc.timeline_record(slot, node, t, mean_us, w);
+        }
+      }
       double tail_sample_us = s.duration.sample_max(rest, rng).to_us();
       // The worst bulk hit's worst core also carries one jitter factor.
       if (jitter) tail_sample_us *= rng.lognormal(0.0, jitter_sigma);
@@ -195,6 +259,12 @@ void simulate_node(const noise::AnalyticNoiseProfile& profile,
       acc.attribute(floor_slot,
                     (t_us - quantum_us) * static_cast<double>(weight),
                     t_us > quantum_us ? weight : 0);
+      if (tl) {
+        // Floor reps at evenly-spaced midpoints across the window.
+        const SimTime t = SimTime::ns(dur_ns * (2 * i + 1) /
+                                      (2 * static_cast<std::int64_t>(reps)));
+        acc.timeline_record(floor_slot, node, t, t_us - quantum_us, weight);
+      }
       acc.attribute_worst(floor_slot, t_us - quantum_us);
       node_max = std::max(node_max, t_us);
       acc.min_time = std::min(acc.min_time, SimTime::from_us(t_us));
@@ -222,6 +292,8 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
   HPCOS_CHECK_MSG(iters_per_core >= 1,
                   "duration_per_core must cover at least one work_quantum; "
                   "the campaign would be empty and report zero noise");
+  HPCOS_CHECK_MSG(!config.timeline || config.timeline_buckets >= 2,
+                  "timeline_buckets must be at least 2");
   const std::uint64_t iters_per_node =
       iters_per_core * static_cast<std::uint64_t>(config.app_cores);
 
@@ -244,11 +316,27 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
   }
   const std::size_t attrib_slots = profile.sources.size() + 1;
 
+  // Base series resolution: explicit, or derived so `timeline_buckets`
+  // buckets cover the window without coarsening (ceil division — a bucket
+  // may overhang the end, but no in-window sample can overflow the ring).
+  SimTime timeline_resolution = config.timeline_resolution;
+  if (config.timeline && timeline_resolution <= SimTime::zero()) {
+    const auto buckets =
+        static_cast<std::int64_t>(std::max<std::size_t>(
+            config.timeline_buckets, 2));
+    timeline_resolution = SimTime::ns(
+        (config.duration_per_core.count_ns() + buckets - 1) / buckets);
+  }
+
   std::vector<ShardAccumulator> shards;
   shards.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
     shards.emplace_back(result.cdf,  // copy of the (empty) target layout
                         heap_capacity, attrib_slots);
+    if (config.timeline) {
+      shards.back().enable_timeline(config, timeline_resolution,
+                                    attrib_slots);
+    }
   }
 
   const RngStream root(config.seed, 0xF80);
@@ -261,7 +349,7 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
         const std::int64_t end =
             std::min(begin + config.nodes_per_shard, config.nodes);
         for (std::int64_t n = begin; n < end; ++n) {
-          simulate_node(profile, config, iters_per_node, source_slot,
+          simulate_node(profile, config, iters_per_node, source_slot, n,
                         root.split(static_cast<std::uint64_t>(n)), acc);
         }
       },
@@ -276,6 +364,21 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
   }
   result.per_source.back().source = "jitter-floor";
   result.per_source.back().kind = noise::SourceKind::kHardware;
+
+  if (config.timeline) {
+    result.timeline.enabled = true;
+    result.timeline.duration = config.duration_per_core;
+    result.timeline.per_source.reserve(attrib_slots);
+    result.timeline.sketches.reserve(attrib_slots);
+    for (std::size_t i = 0; i < attrib_slots; ++i) {
+      result.timeline.per_source.emplace_back(timeline_resolution,
+                                              config.timeline_buckets);
+      result.timeline.sketches.emplace_back(config.sketch_relative_error);
+    }
+    result.timeline.heatmap = obs::ts::NodeTimeGrid(
+        config.nodes, config.duration_per_core, config.heatmap_rows,
+        config.heatmap_cols);
+  }
 
   SimTime global_min = SimTime::max();
   SimTime global_max = SimTime::zero();
@@ -299,6 +402,13 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
                             acc.worst.end());
     topk_pushes += acc.topk_pushes;
     topk_evictions += acc.topk_evictions;
+    if (config.timeline) {
+      for (std::size_t i = 0; i < attrib_slots; ++i) {
+        result.timeline.per_source[i].merge(acc.series[i]);
+        result.timeline.sketches[i].merge(acc.sketches[i]);
+      }
+      result.timeline.heatmap.merge(acc.grid);
+    }
   }
 
   // Worst-N node selection (what the paper persists to the PFS), from at

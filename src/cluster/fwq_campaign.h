@@ -22,10 +22,12 @@
 
 #include "common/histogram.h"
 #include "common/rng.h"
+#include "common/sketch.h"
 #include "noise/analytic.h"
 #include "noise/fwq.h"
 #include "noise/metrics.h"
 #include "obs/registry.h"
+#include "obs/timeseries/timeseries.h"
 
 namespace hpcos::cluster {
 
@@ -72,6 +74,22 @@ struct FwqCampaignConfig {
   // phase (fwq.campaign.nodes/.iterations, fwq.topk.pushes/.evictions) —
   // shards count locally, the Registry stays single-writer.
   obs::Registry* registry = nullptr;
+  // Streaming timeline (off by default): per-source overhead series, tail
+  // quantile sketches, and the Figure 4 node x time heatmap. Event
+  // timestamps come from a dedicated RNG substream (node split 2), so
+  // enabling the timeline never perturbs the existing draw sequences —
+  // every non-timeline number in the result is bit-identical either way.
+  bool timeline = false;
+  // Ring capacity (buckets) of each per-source series. The base resolution
+  // is timeline_resolution, or duration_per_core / timeline_buckets when
+  // zero; a finer explicit resolution exercises the 2x auto-coarsening.
+  std::size_t timeline_buckets = 96;
+  SimTime timeline_resolution = SimTime::zero();
+  // Relative-error bound (alpha) of the per-source overhead sketches.
+  double sketch_relative_error = 0.01;
+  // Heatmap grid shape (rows clamp to the node count).
+  std::size_t heatmap_rows = 32;
+  std::size_t heatmap_cols = 96;
   Seed seed{2021};
 };
 
@@ -90,6 +108,22 @@ struct SourceAttribution {
   double worst_us = 0.0;           // worst single overhead it caused
 };
 
+// Streaming view of one campaign (present when config.timeline is set).
+// All containers parallel FwqCampaignResult::per_source (profile order,
+// jitter floor last). Per-source series sums mirror the ledger's stolen_us
+// exactly (same overhead terms, shard-order merge), which is the
+// reconciliation the timeline_smoke job checks to <1e-9 relative error.
+struct FwqTimeline {
+  bool enabled = false;
+  SimTime duration;  // campaign window [0, duration_per_core)
+  // Overhead (us) over virtual time, one series per ledger slot.
+  std::vector<obs::ts::TimeSeries> per_source;
+  // Tail sketches of per-iteration overhead (us), one per ledger slot.
+  std::vector<QuantileSketch> sketches;
+  // Figure 4 analogue: node-bin x time-bin overhead (us) grid.
+  obs::ts::NodeTimeGrid heatmap;
+};
+
 struct FwqCampaignResult {
   // All iteration lengths (us), log-binned for the CDF plot.
   LogHistogram cdf{1000.0, 1e6, 2048};
@@ -100,6 +134,7 @@ struct FwqCampaignResult {
   // Per-source ledger in profile order (inactive sources kept with zero
   // counts so the layout is profile-stable), with the jitter floor last.
   std::vector<SourceAttribution> per_source;
+  FwqTimeline timeline;
 };
 
 FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,

@@ -1,0 +1,81 @@
+#include "common/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hpcos {
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : relative_error_(relative_error),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      log_gamma_(std::log(gamma_)) {
+  HPCOS_CHECK_MSG(relative_error > 0.0 && relative_error < 1.0,
+                  "sketch relative error must be in (0, 1)");
+}
+
+std::int32_t QuantileSketch::bucket_index(double value) const {
+  // ceil(log_gamma(value)): bucket i covers (gamma^(i-1), gamma^i].
+  return static_cast<std::int32_t>(std::ceil(std::log(value) / log_gamma_));
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) const {
+  // Estimate minimizing worst-case relative error over the bucket.
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::add(double value, std::uint64_t weight) {
+  if (weight == 0) return;
+  total_ += weight;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  if (value <= kMinTrackable) {
+    zero_count_ += weight;
+    return;
+  }
+  buckets_[bucket_index(value)] += weight;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  HPCOS_CHECK_MSG(relative_error_ == other.relative_error_,
+                  "merging sketches with different relative errors");
+  if (other.total_ == 0) return;
+  total_ += other.total_;
+  zero_count_ += other.zero_count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (const auto& [index, count] : other.buckets_) {
+    buckets_[index] += count;
+  }
+}
+
+double QuantileSketch::value_at_rank(std::uint64_t k) const {
+  if (k < zero_count_) return 0.0;
+  std::uint64_t cum = zero_count_;
+  for (const auto& [index, count] : buckets_) {
+    cum += count;
+    if (k < cum) return bucket_value(index);
+  }
+  return max_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  HPCOS_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1]");
+  if (total_ == 0) return 0.0;
+  // percentile_sorted's rank convention: linear interpolation between the
+  // closest ranks. Each rank's bucket estimate is within relative error
+  // alpha of the exact order statistic, and interpolation of pointwise
+  // alpha-bounded positive values stays alpha-bounded, so the guarantee
+  // carries over to the batch percentile.
+  const double rank = q * static_cast<double>(total_ - 1);
+  const auto lo = static_cast<std::uint64_t>(rank);
+  const std::uint64_t hi = std::min(lo + 1, total_ - 1);
+  const double frac = rank - static_cast<double>(lo);
+  const double v_lo = value_at_rank(lo);
+  const double v_hi = value_at_rank(hi);
+  const double estimate = v_lo + frac * (v_hi - v_lo);
+  return std::clamp(estimate, min_, max_);
+}
+
+}  // namespace hpcos

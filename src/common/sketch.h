@@ -1,0 +1,71 @@
+// Mergeable log-bucketed quantile sketch (DDSketch-style).
+//
+// The timeline layer (obs/timeseries) needs tail quantiles — p99/p999 of
+// per-source noise overheads, per kernel configuration, over arbitrarily
+// long runs — without retaining raw samples and without giving up the
+// repo's bit-identical-across-thread-counts discipline. The sketch
+// buckets positive values geometrically: bucket i covers
+// (gamma^(i-1), gamma^i] with gamma = (1 + alpha) / (1 - alpha), and a
+// quantile query returns the bucket's log-space midpoint estimate
+// 2 * gamma^i / (gamma + 1), which is within relative error alpha of the
+// exact batch percentile (stats::percentile) — the bound the tests pin.
+//
+// Bucket counts are integers, so merge() is exactly associative and
+// commutative; campaign shards still merge in shard order (the same
+// discipline as Histogram/OnlineStats) and the result is identical for
+// any host thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <limits>
+
+namespace hpcos {
+
+class QuantileSketch {
+ public:
+  // `relative_error` (alpha) must be in (0, 1); the default 1% keeps
+  // ~920 buckets per decade-spanning distribution tail.
+  explicit QuantileSketch(double relative_error = 0.01);
+
+  // Values <= kMinTrackable (including zero and negatives — overheads
+  // are clamped at zero upstream) collapse into a dedicated zero bucket.
+  static constexpr double kMinTrackable = 1e-9;
+
+  void add(double value, std::uint64_t weight = 1);
+  // Other must share this sketch's relative error (checked).
+  void merge(const QuantileSketch& other);
+
+  // q in [0, 1]; 0 when empty. Clamped to the observed [min, max], which
+  // only tightens the relative-error guarantee.
+  double quantile(double q) const;
+
+  std::uint64_t count() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  double relative_error() const { return relative_error_; }
+  double min() const { return total_ ? min_ : 0.0; }
+  double max() const { return total_ ? max_ : 0.0; }
+  // Distinct non-empty buckets — the sketch's memory footprint.
+  std::size_t bucket_count() const {
+    return buckets_.size() + (zero_count_ > 0 ? 1 : 0);
+  }
+
+ private:
+  std::int32_t bucket_index(double value) const;
+  double bucket_value(std::int32_t index) const;
+  // Bucket estimate of the zero-based k-th order statistic.
+  double value_at_rank(std::uint64_t k) const;
+
+  double relative_error_;
+  double gamma_;
+  double log_gamma_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t total_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  // Ordered map: quantile queries walk buckets in value order, and
+  // enumeration order never depends on insertion order.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+};
+
+}  // namespace hpcos

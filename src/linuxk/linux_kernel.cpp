@@ -131,8 +131,10 @@ void LinuxKernel::set_registry(obs::Registry* registry) {
     shootdown_counter_ = nullptr;
     shootdown_ipi_counter_ = nullptr;
     tick_counter_ = nullptr;
+    set_interrupt_ns_counter(nullptr);
     return;
   }
+  set_interrupt_ns_counter(registry->counter("linux.interrupt_ns"));
   syscall_counter_ = registry->counter("linux.syscalls");
   fault_counter_ = registry->counter("linux.page_faults");
   shootdown_counter_ = registry->counter("linux.tlb.shootdowns");

@@ -63,8 +63,10 @@ void McKernel::set_registry(obs::Registry* registry) {
     stag_counter_ = nullptr;
     fault_counter_ = nullptr;
     lwk_sched_.set_dispatch_counter(nullptr);
+    set_interrupt_ns_counter(nullptr);
     return;
   }
+  set_interrupt_ns_counter(registry->counter("lwk.interrupt_ns"));
   local_counter_ = registry->counter("lwk.syscalls.local");
   offload_counter_ = registry->counter("lwk.syscalls.offloaded");
   stag_counter_ = registry->counter("lwk.stag.registrations");

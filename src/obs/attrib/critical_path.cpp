@@ -105,12 +105,26 @@ StragglerReport build_straggler_report(
 
 void overlay_noise_events(StragglerReport& report,
                           const std::vector<sim::TraceRecord>& node_records,
-                          std::size_t max_events) {
+                          std::size_t max_events,
+                          const TrackCoreMap* track_cores) {
   for (auto& it : report.iterations) {
     it.overlay.clear();
     if (it.compute_end <= it.compute_begin) continue;
+    const hw::CpuSet* owned = nullptr;
+    if (track_cores != nullptr) {
+      if (const auto found = track_cores->find(it.track);
+          found != track_cores->end()) {
+        owned = &found->second;
+      }
+    }
     for (const auto& r : node_records) {
       if (starts_with(r.label, "bsp:")) continue;
+      // Core-aware match: per-core events must hit one of the rank's
+      // cores; kInvalidCore marks machine-wide events, which hit everyone.
+      if (owned != nullptr && r.core != hw::kInvalidCore &&
+          !owned->test(r.core)) {
+        continue;
+      }
       // Half-open intersection; zero-duration markers count when they
       // fall inside the window.
       const SimTime end = r.time + r.duration;

@@ -18,9 +18,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "hw/cpuset.h"
 #include "sim/trace.h"
 
 namespace hpcos::obs::attrib {
@@ -81,13 +83,24 @@ struct StragglerReport {
 StragglerReport build_straggler_report(
     const std::vector<sim::TraceRecord>& records);
 
+// Rank track -> node cores that rank owns. When a track has an entry,
+// only node events on one of its cores — or machine-wide events recorded
+// with hw::kInvalidCore — are overlaid onto that track's compute windows.
+using TrackCoreMap = std::map<hw::CoreId, hw::CpuSet>;
+
 // Overlay a DES node trace onto each iteration's compute window: fills
 // IterationStraggler::overlay with the node records (plain events and
 // spans alike, bsp:* spans excluded) whose [time, time+duration)
 // intersects [compute_begin, compute_end), longest first, truncated to
 // `max_events` per iteration.
+//
+// `track_cores` (optional) makes the match core-aware: with several ranks
+// on one node, a per-core event is attributed only to the rank whose
+// cores it hit, instead of to every rank whose compute window merely
+// overlapped it in time. Tracks without an entry keep the time-only match.
 void overlay_noise_events(StragglerReport& report,
                           const std::vector<sim::TraceRecord>& node_records,
-                          std::size_t max_events = 8);
+                          std::size_t max_events = 8,
+                          const TrackCoreMap* track_cores = nullptr);
 
 }  // namespace hpcos::obs::attrib

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common/parallel.h"
+#include "obs/timeseries/timeseries.h"
 
 namespace hpcos::obs {
 
@@ -20,6 +21,31 @@ void BenchReport::add_metric(const std::string& name, const std::string& unit,
 
 void BenchReport::add_metric(BenchMetric metric) {
   metrics_.push_back(std::move(metric));
+}
+
+void BenchReport::add_series(const std::string& name, const std::string& unit,
+                             const ts::TimeSeries& series) {
+  JsonValue s = JsonValue::object();
+  s.set("name", name);
+  s.set("unit", unit);
+  s.set("resolution_us",
+        static_cast<double>(series.resolution().count_ns()) / 1e3);
+  s.set("coarsens", series.coarsen_count());
+  JsonValue buckets = JsonValue::array();
+  for (std::size_t i = 0; i < series.bucket_count(); ++i) {
+    const ts::SeriesBucket& b = series.bucket(i);
+    if (b.empty()) continue;
+    JsonValue bucket = JsonValue::object();
+    bucket.set("t_us",
+               static_cast<double>(series.bucket_start(i).count_ns()) / 1e3);
+    bucket.set("min", b.min);
+    bucket.set("max", b.max);
+    bucket.set("sum", b.sum);
+    bucket.set("count", b.count);
+    buckets.push_back(std::move(bucket));
+  }
+  s.set("buckets", std::move(buckets));
+  series_.push_back(std::move(s));
 }
 
 JsonValue BenchReport::to_json() const {
@@ -46,6 +72,11 @@ JsonValue BenchReport::to_json() const {
     metrics.push_back(std::move(metric));
   }
   doc.set("metrics", std::move(metrics));
+  if (!series_.empty()) {
+    JsonValue series = JsonValue::array();
+    for (const auto& s : series_) series.push_back(s);
+    doc.set("series", std::move(series));
+  }
   return doc;
 }
 
@@ -99,6 +130,40 @@ std::string validate_bench_report(const JsonValue& doc) {
       for (const auto& [k, v] : pct->members()) {
         if (!v.is_number() || !std::isfinite(v.as_number())) {
           return where + " percentile \"" + k + "\" is NaN or missing";
+        }
+      }
+    }
+  }
+  if (const JsonValue* series = doc.find("series"); series != nullptr) {
+    if (!series->is_array()) return "series is not an array";
+    const auto& entries = series->as_array();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const auto& s = entries[i];
+      const std::string where = "series[" + std::to_string(i) + "]";
+      if (!s.is_object()) return where + " is not an object";
+      if (!s.contains("name") || !s.at("name").is_string() ||
+          s.at("name").as_string().empty()) {
+        return where + " name missing or empty";
+      }
+      if (!s.contains("resolution_us") ||
+          !s.at("resolution_us").is_number() ||
+          !std::isfinite(s.at("resolution_us").as_number())) {
+        return where + " resolution_us missing or not finite";
+      }
+      if (!s.contains("buckets") || !s.at("buckets").is_array()) {
+        return where + " buckets missing or not an array";
+      }
+      const auto& buckets = s.at("buckets").as_array();
+      for (std::size_t j = 0; j < buckets.size(); ++j) {
+        const auto& b = buckets[j];
+        const std::string bwhere =
+            where + ".buckets[" + std::to_string(j) + "]";
+        if (!b.is_object()) return bwhere + " is not an object";
+        for (const char* key : {"t_us", "min", "max", "sum", "count"}) {
+          if (!b.contains(key) || !b.at(key).is_number() ||
+              !std::isfinite(b.at(key).as_number())) {
+            return bwhere + " \"" + key + "\" missing or not finite";
+          }
         }
       }
     }

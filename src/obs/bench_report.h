@@ -33,6 +33,10 @@
 
 namespace hpcos::obs {
 
+namespace ts {
+class TimeSeries;
+}  // namespace ts
+
 inline constexpr const char* kBenchReportSchema = "hpcos-bench-report/1";
 
 struct BenchMetric {
@@ -51,7 +55,16 @@ class BenchReport {
                   double value);
   void add_metric(BenchMetric metric);
 
+  // Attach a streaming series dump under the optional top-level "series"
+  // array: {name, unit, resolution_us, coarsens, buckets:[{t_us, min, max,
+  // sum, count}, ...]} with empty buckets elided. The bench_diff gate
+  // compares only "metrics", so series are informational (plot fodder),
+  // never regression-gated.
+  void add_series(const std::string& name, const std::string& unit,
+                  const ts::TimeSeries& series);
+
   std::size_t metric_count() const { return metrics_.size(); }
+  std::size_t series_count() const { return series_.size(); }
 
   JsonValue to_json() const;
   // Write the pretty-printed document; throws std::runtime_error on I/O
@@ -63,6 +76,7 @@ class BenchReport {
   bool quick_ = false;
   std::uint64_t seed_ = 0;
   std::vector<BenchMetric> metrics_;
+  std::vector<JsonValue> series_;
 };
 
 // Schema validation of a parsed report. Returns an empty string when the

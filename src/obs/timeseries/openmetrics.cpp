@@ -1,0 +1,199 @@
+#include "obs/timeseries/openmetrics.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/sim_time.h"
+
+namespace hpcos::obs::ts {
+
+namespace {
+
+// Label-value escaping per the exposition format: backslash, quote,
+// newline.
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void emit_sample(std::ostringstream& os, const std::string& metric,
+                 std::initializer_list<std::pair<const char*, std::string>>
+                     labels,
+                 const std::string& value) {
+  os << metric << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"" << escape_label(v) << '"';
+  }
+  os << "} " << value << '\n';
+}
+
+std::string fmt_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string openmetrics_text(const Registry& registry,
+                             const SeriesSet* series) {
+  const Snapshot snap = registry.snapshot();
+  std::ostringstream os;
+  if (!snap.counters.empty()) {
+    os << "# TYPE hpcos_counter counter\n";
+    for (const auto& c : snap.counters) {
+      emit_sample(os, "hpcos_counter_total", {{"name", c.name}},
+                  std::to_string(c.value));
+    }
+  }
+  if (!snap.histograms.empty()) {
+    os << "# TYPE hpcos_histogram summary\n";
+    for (const auto& h : snap.histograms) {
+      emit_sample(os, "hpcos_histogram_count", {{"name", h.name}},
+                  std::to_string(h.count));
+      emit_sample(os, "hpcos_histogram",
+                  {{"name", h.name}, {"quantile", std::string("0.5")}},
+                  fmt_double(h.p50));
+      emit_sample(os, "hpcos_histogram",
+                  {{"name", h.name}, {"quantile", std::string("0.99")}},
+                  fmt_double(h.p99));
+      emit_sample(os, "hpcos_histogram_max", {{"name", h.name}},
+                  fmt_double(h.max));
+    }
+  }
+  if (series != nullptr && series->size() > 0) {
+    os << "# TYPE hpcos_series gauge\n";
+    for (const auto& [name, s] : series->sorted()) {
+      emit_sample(os, "hpcos_series",
+                  {{"name", name}, {"stat", std::string("sum")}},
+                  fmt_double(s->total_sum()));
+      emit_sample(os, "hpcos_series",
+                  {{"name", name}, {"stat", std::string("count")}},
+                  std::to_string(s->total_count()));
+      emit_sample(
+          os, "hpcos_series",
+          {{"name", name}, {"stat", std::string("resolution_us")}},
+          fmt_double(static_cast<double>(s->resolution().count_ns()) / 1e3));
+    }
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+std::string OpenMetricsSample::label(const std::string& key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& why, const std::string& line) {
+  throw std::runtime_error("openmetrics parse error: " + why + " in line: " +
+                           line);
+}
+
+OpenMetricsSample parse_line(const std::string& line) {
+  OpenMetricsSample sample;
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  if (i == 0 || i == line.size()) parse_fail("missing metric name", line);
+  sample.metric = line.substr(0, i);
+  if (line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      const std::size_t key_start = i;
+      while (i < line.size() && line[i] != '=') ++i;
+      if (i >= line.size()) parse_fail("unterminated label key", line);
+      std::string key = line.substr(key_start, i - key_start);
+      ++i;  // '='
+      if (i >= line.size() || line[i] != '"') {
+        parse_fail("label value is not quoted", line);
+      }
+      ++i;  // opening quote
+      std::string value;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          ++i;
+          switch (line[i]) {
+            case 'n': value += '\n'; break;
+            case '\\': value += '\\'; break;
+            case '"': value += '"'; break;
+            default: parse_fail("bad escape in label value", line);
+          }
+        } else {
+          value += line[i];
+        }
+        ++i;
+      }
+      if (i >= line.size()) parse_fail("unterminated label value", line);
+      ++i;  // closing quote
+      sample.labels.emplace_back(std::move(key), std::move(value));
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      parse_fail("unterminated label set", line);
+    }
+    ++i;  // '}'
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    parse_fail("missing value separator", line);
+  }
+  ++i;
+  const std::string value_text = line.substr(i);
+  char* end = nullptr;
+  sample.value = std::strtod(value_text.c_str(), &end);
+  if (end == value_text.c_str() || *end != '\0') {
+    parse_fail("bad sample value", line);
+  }
+  return sample;
+}
+
+}  // namespace
+
+std::vector<OpenMetricsSample> parse_openmetrics(const std::string& text) {
+  std::vector<OpenMetricsSample> samples;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_eof = false;
+  while (std::getline(in, line)) {
+    if (saw_eof) parse_fail("content after # EOF", line);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line == "# EOF") saw_eof = true;
+      continue;  // TYPE/HELP/EOF comment lines
+    }
+    samples.push_back(parse_line(line));
+  }
+  if (!saw_eof) {
+    throw std::runtime_error(
+        "openmetrics parse error: missing # EOF terminator");
+  }
+  return samples;
+}
+
+void add_registry_metrics(BenchReport& report, const Registry& registry,
+                          const std::string& prefix) {
+  const Snapshot snap = registry.snapshot();
+  for (const auto& c : snap.counters) {
+    report.add_metric(prefix + "." + c.name, "count",
+                      static_cast<double>(c.value));
+  }
+}
+
+}  // namespace hpcos::obs::ts

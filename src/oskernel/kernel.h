@@ -26,6 +26,7 @@
 #include "common/sim_time.h"
 #include "hw/cpuset.h"
 #include "hw/topology.h"
+#include "obs/registry.h"
 #include "oskernel/costs.h"
 #include "oskernel/process.h"
 #include "oskernel/scheduler.h"
@@ -79,6 +80,14 @@ class NodeKernel {
   // Steal `duration` of kernel-mode time on a core.
   void interrupt_core(hw::CoreId core, SimTime duration,
                       sim::TraceCategory category, const std::string& label);
+  // Nullable total-interrupt-time counter bumped by interrupt_core (the
+  // central kernel-time-theft path). Concrete kernels register it as
+  // linux.interrupt_ns / lwk.interrupt_ns in set_registry; the streaming
+  // RegistrySampler turns its deltas into a Fig. 3-style noise-rate
+  // series per kernel.
+  void set_interrupt_ns_counter(obs::Counter* counter) {
+    interrupt_ns_counter_ = counter;
+  }
   // Inflate the running burst on `core` by `duration` (hardware stall).
   // No-op on idle cores.
   void stall_core(hw::CoreId core, SimTime duration,
@@ -186,6 +195,7 @@ class NodeKernel {
   hw::CpuSet owned_cores_;
   KernelCosts costs_;
   sim::TraceBuffer* trace_;
+  obs::Counter* interrupt_ns_counter_ = nullptr;
 
   std::vector<CoreState> cores_;
   std::unordered_map<ThreadId, std::unique_ptr<Thread>> threads_;

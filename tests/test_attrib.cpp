@@ -452,6 +452,70 @@ TEST(StragglerReport, OverlayFindsNodeEventsInComputeWindow) {
   EXPECT_EQ(report.iterations[0].overlay[0].label, "blk-mq");
 }
 
+TEST(StragglerReport, CoreAwareOverlayStopsCrossRankMisattribution) {
+  // Two rank tracks sharing one node: track 0 owns cores {0..3}, track 1
+  // owns cores {4..7}. Track 0 is the straggler; a per-core event on one
+  // of track 1's cores falls inside track 0's compute window, so the
+  // time-only match misattributes it to track 0. The core-aware match
+  // must keep it out while still overlaying track 0's own cores and
+  // machine-wide (kInvalidCore) events.
+  sim::TraceBuffer buf(16);
+  const auto it0 = buf.new_span();
+  buf.record(span_rec(0, 100, "bsp:iteration", it0, 0, 0,
+                      sim::TraceCategory::kCollective));
+  buf.record(span_rec(0, 60, "bsp:compute", buf.new_span(), it0, 0));
+  const auto it1 = buf.new_span();
+  buf.record(span_rec(0, 80, "bsp:iteration", it1, 0, 1,
+                      sim::TraceCategory::kCollective));
+  buf.record(span_rec(0, 50, "bsp:compute", buf.new_span(), it1, 1));
+  auto report = obs::attrib::build_straggler_report(buf.snapshot());
+  ASSERT_EQ(report.iterations.size(), 1u);
+  ASSERT_EQ(report.iterations[0].track, 0);
+
+  std::vector<sim::TraceRecord> node_records;
+  node_records.push_back(  // on track 1's core, inside both windows
+      sim::TraceRecord{.time = SimTime::us(10), .core = 5,
+                       .category = sim::TraceCategory::kDaemon,
+                       .duration = SimTime::us(30),
+                       .label = "other-ranks-daemon"});
+  node_records.push_back(  // on track 0's own core
+      sim::TraceRecord{.time = SimTime::us(20), .core = 2,
+                       .category = sim::TraceCategory::kKworker,
+                       .duration = SimTime::us(8),
+                       .label = "own-kworker"});
+  node_records.push_back(  // machine-wide event: hits every rank
+      sim::TraceRecord{.time = SimTime::us(30), .core = hw::kInvalidCore,
+                       .category = sim::TraceCategory::kTlbShootdown,
+                       .duration = SimTime::us(5),
+                       .label = "tlbi-broadcast"});
+
+  // Time-only matching attributes all three to the straggler.
+  obs::attrib::overlay_noise_events(report, node_records);
+  ASSERT_EQ(report.iterations[0].overlay.size(), 3u);
+  EXPECT_EQ(report.iterations[0].overlay[0].label, "other-ranks-daemon");
+
+  // Core-aware matching drops the other rank's per-core event.
+  obs::attrib::TrackCoreMap track_cores;
+  hw::CpuSet cores0(8);
+  hw::CpuSet cores1(8);
+  for (hw::CoreId c = 0; c < 4; ++c) cores0.set(c);
+  for (hw::CoreId c = 4; c < 8; ++c) cores1.set(c);
+  track_cores.emplace(0, cores0);
+  track_cores.emplace(1, cores1);
+  obs::attrib::overlay_noise_events(report, node_records, /*max_events=*/8,
+                                    &track_cores);
+  ASSERT_EQ(report.iterations[0].overlay.size(), 2u);
+  EXPECT_EQ(report.iterations[0].overlay[0].label, "own-kworker");
+  EXPECT_EQ(report.iterations[0].overlay[1].label, "tlbi-broadcast");
+
+  // A track without a map entry keeps the time-only match.
+  obs::attrib::TrackCoreMap only_other;
+  only_other.emplace(1, cores1);
+  obs::attrib::overlay_noise_events(report, node_records, /*max_events=*/8,
+                                    &only_other);
+  EXPECT_EQ(report.iterations[0].overlay.size(), 3u);
+}
+
 TEST(AttributedSampler, MatchesPlainSamplerDrawForDraw) {
   const auto profile = noise::fugaku_linux_profile(
       noise::Countermeasures{.bind_daemons = false});

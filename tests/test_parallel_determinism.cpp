@@ -105,6 +105,62 @@ TEST(ParallelDeterminism, JitteredAllCoresCampaignIdenticalAcrossThreads) {
   expect_identical(run_fwq_campaign(profile, zero), baseline);
 }
 
+TEST(ParallelDeterminism, TimelineIdenticalAcrossThreadCounts) {
+  // The streaming timeline (per-source series, quantile sketches, node x
+  // time heatmap) accumulates shard-locally and merges in shard order:
+  // every bucket, sketch quantile, and heatmap cell must be bit-identical
+  // for threads in {1, 2, 8}.
+  const auto profile = noise::fugaku_linux_profile();
+  auto with_timeline = [](std::size_t threads) {
+    auto cfg = campaign_config(threads);
+    cfg.timeline = true;
+    return cfg;
+  };
+  const auto serial = run_fwq_campaign(profile, with_timeline(1));
+  const auto two = run_fwq_campaign(profile, with_timeline(2));
+  const auto eight = run_fwq_campaign(profile, with_timeline(8));
+  expect_identical(serial, two);
+  expect_identical(serial, eight);
+
+  auto expect_timeline_identical = [](const FwqCampaignResult& a,
+                                      const FwqCampaignResult& b) {
+    ASSERT_TRUE(a.timeline.enabled);
+    ASSERT_TRUE(b.timeline.enabled);
+    ASSERT_EQ(a.timeline.per_source.size(), b.timeline.per_source.size());
+    for (std::size_t i = 0; i < a.timeline.per_source.size(); ++i) {
+      const auto& sa = a.timeline.per_source[i];
+      const auto& sb = b.timeline.per_source[i];
+      ASSERT_EQ(sa.resolution(), sb.resolution()) << "slot " << i;
+      ASSERT_EQ(sa.bucket_count(), sb.bucket_count()) << "slot " << i;
+      for (std::size_t j = 0; j < sa.bucket_count(); ++j) {
+        // EXPECT_EQ on doubles on purpose: bitwise identity.
+        ASSERT_EQ(sa.bucket(j).count, sb.bucket(j).count) << i << "/" << j;
+        ASSERT_EQ(sa.bucket(j).sum, sb.bucket(j).sum) << i << "/" << j;
+        ASSERT_EQ(sa.bucket(j).min, sb.bucket(j).min) << i << "/" << j;
+        ASSERT_EQ(sa.bucket(j).max, sb.bucket(j).max) << i << "/" << j;
+      }
+      const auto& ka = a.timeline.sketches[i];
+      const auto& kb = b.timeline.sketches[i];
+      ASSERT_EQ(ka.count(), kb.count()) << "slot " << i;
+      ASSERT_EQ(ka.bucket_count(), kb.bucket_count()) << "slot " << i;
+      for (double q : {0.5, 0.99, 0.999}) {
+        ASSERT_EQ(ka.quantile(q), kb.quantile(q)) << "slot " << i;
+      }
+    }
+    const auto& ga = a.timeline.heatmap;
+    const auto& gb = b.timeline.heatmap;
+    ASSERT_EQ(ga.rows(), gb.rows());
+    ASSERT_EQ(ga.cols(), gb.cols());
+    for (std::size_t r = 0; r < ga.rows(); ++r) {
+      for (std::size_t c = 0; c < ga.cols(); ++c) {
+        ASSERT_EQ(ga.cell(r, c), gb.cell(r, c)) << r << "/" << c;
+      }
+    }
+  };
+  expect_timeline_identical(serial, two);
+  expect_timeline_identical(serial, eight);
+}
+
 TEST(ParallelDeterminism, RelativePerformanceIdenticalAcrossThreadCounts) {
   class TinyWorkload final : public Workload {
    public:

@@ -1,0 +1,167 @@
+// QuantileSketch: the relative-error guarantee against the exact batch
+// percentile, the zero bucket, weighted adds, and exact merge-order
+// invariance (the property the campaign's shard-order merges rely on).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/sketch.h"
+#include "common/stats.h"
+
+namespace hpcos {
+namespace {
+
+// |estimate - exact| <= alpha * exact for positive-valued data; a small
+// absolute slack covers exact == 0 (pure-zero streams).
+void expect_within_alpha(const QuantileSketch& sketch,
+                         std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const double exact = percentile_sorted(samples, q * 100.0);
+  const double estimate = sketch.quantile(q);
+  EXPECT_NEAR(estimate, exact, sketch.relative_error() * exact + 1e-12)
+      << "q=" << q;
+}
+
+TEST(QuantileSketch, EmptySketchReturnsZero) {
+  const QuantileSketch s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.bucket_count(), 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(QuantileSketch, SingleValueEveryQuantileIsThatValue) {
+  QuantileSketch s;
+  s.add(42.5);
+  EXPECT_EQ(s.count(), 1u);
+  // Clamping to the observed [min, max] makes one-sample sketches exact.
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 42.5) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, ZeroAndNegativeValuesCollapseIntoZeroBucket) {
+  QuantileSketch s;
+  s.add(0.0);
+  s.add(-3.0);
+  s.add(QuantileSketch::kMinTrackable);  // at the threshold: still zero
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.bucket_count(), 1u);  // just the zero bucket
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  // Mixed stream: zeros occupy the low ranks, positives the high ones.
+  s.add(10.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);  // zero-bucket estimate
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);         // observed min still reported
+  EXPECT_NEAR(s.quantile(1.0), 10.0, 0.01 * 10.0);
+}
+
+TEST(QuantileSketch, WeightedAddEqualsRepeatedAdd) {
+  QuantileSketch weighted;
+  QuantileSketch repeated;
+  RngStream rng(Seed{5}, 0);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.lognormal(3.0, 1.0);
+    const auto w = static_cast<std::uint64_t>(1 + i % 7);
+    weighted.add(v, w);
+    for (std::uint64_t k = 0; k < w; ++k) repeated.add(v);
+  }
+  ASSERT_EQ(weighted.count(), repeated.count());
+  EXPECT_EQ(weighted.bucket_count(), repeated.bucket_count());
+  for (double q : {0.01, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(weighted.quantile(q), repeated.quantile(q)) << q;
+  }
+  // Zero-weight adds are no-ops.
+  const double before = weighted.quantile(0.5);
+  weighted.add(1e9, 0);
+  EXPECT_EQ(weighted.quantile(0.5), before);
+}
+
+TEST(QuantileSketch, TailQuantilesWithinAlphaOfBatchPercentile) {
+  // Lognormal overhead-like data spanning ~4 decades: p50 through p999
+  // must sit within the stated relative error of stats::percentile.
+  for (double alpha : {0.01, 0.05}) {
+    QuantileSketch sketch(alpha);
+    std::vector<double> samples;
+    RngStream rng(Seed{6}, 1);
+    for (int i = 0; i < 20000; ++i) {
+      const double v = rng.lognormal(2.0, 1.4);
+      samples.push_back(v);
+      sketch.add(v);
+    }
+    for (double q : {0.0, 0.05, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      expect_within_alpha(sketch, samples, q);
+    }
+  }
+}
+
+TEST(QuantileSketch, BoundedBucketsOnWideRange) {
+  // ~9 decades of data at alpha = 1%: bucket count stays in the low
+  // thousands (log-bucketing), nowhere near the 200k samples.
+  QuantileSketch sketch(0.01);
+  RngStream rng(Seed{7}, 2);
+  for (int i = 0; i < 200000; ++i) {
+    sketch.add(std::pow(10.0, rng.uniform(-3.0, 6.0)));
+  }
+  EXPECT_EQ(sketch.count(), 200000u);
+  EXPECT_LT(sketch.bucket_count(), 3000u);
+}
+
+TEST(QuantileSketch, MergeIsExactAndOrderInvariant) {
+  RngStream rng(Seed{8}, 3);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i) samples.push_back(rng.lognormal(4.0, 1.2));
+
+  QuantileSketch whole;
+  for (double v : samples) whole.add(v);
+
+  // 8 ragged shards, merged forward and reversed: integer bucket counts
+  // make both orders bit-identical to the single-pass sketch.
+  std::vector<QuantileSketch> shards(8, QuantileSketch{});
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    shards[(i * i + 3) % shards.size()].add(samples[i]);
+  }
+  QuantileSketch forward;
+  for (const auto& s : shards) forward.merge(s);
+  QuantileSketch reversed;
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+    reversed.merge(*it);
+  }
+  ASSERT_EQ(forward.count(), whole.count());
+  ASSERT_EQ(reversed.count(), whole.count());
+  EXPECT_EQ(forward.bucket_count(), whole.bucket_count());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(forward.quantile(q), whole.quantile(q)) << q;
+    EXPECT_DOUBLE_EQ(reversed.quantile(q), whole.quantile(q)) << q;
+  }
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedRelativeError) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.02);
+  b.add(1.0);
+  EXPECT_THROW(a.merge(b), SimError);
+  // Merging an empty same-alpha sketch is a no-op.
+  QuantileSketch empty(0.01);
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 5.0);
+}
+
+TEST(QuantileSketch, ConstructorRejectsBadAlpha) {
+  EXPECT_THROW(QuantileSketch(0.0), SimError);
+  EXPECT_THROW(QuantileSketch(1.0), SimError);
+  EXPECT_THROW(QuantileSketch(-0.1), SimError);
+}
+
+}  // namespace
+}  // namespace hpcos

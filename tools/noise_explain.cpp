@@ -194,8 +194,22 @@ int main(int argc, char** argv) {
   }
   const auto bsp_records = bsp_trace.snapshot();
   auto straggler = obs::attrib::build_straggler_report(bsp_records);
+  // Core-aware overlay: the 4 sampled rank tracks share the one DES node,
+  // so partition its application cores round-robin across the tracks and
+  // let per-core noise events land only on the rank that owns the core.
+  const auto app_cores = node->topology().application_cores().to_vector();
+  const auto num_cores =
+      static_cast<std::size_t>(node->topology().logical_cores());
+  obs::attrib::TrackCoreMap track_cores;
+  for (int track = 0; track < tracks; ++track) {
+    track_cores.emplace(static_cast<hw::CoreId>(track),
+                        hw::CpuSet(num_cores));
+  }
+  for (std::size_t i = 0; i < app_cores.size(); ++i) {
+    track_cores[static_cast<hw::CoreId>(i % tracks)].set(app_cores[i]);
+  }
   obs::attrib::overlay_noise_events(straggler, node_records,
-                                    /*max_events=*/3);
+                                    /*max_events=*/3, &track_cores);
 
   print_banner(std::cout,
                "Straggler / critical path: " + std::to_string(tracks) +
