@@ -55,10 +55,14 @@ struct PlanPoint {
 using FigurePlan =
     std::vector<std::pair<std::string, std::vector<PlanPoint>>>;
 
-// Run every (workload, nodes) point of a figure across the host worker
-// pool. Points are independent (per-point workload instance and paired
-// seeded engines) and each writes its own row slot, so row order — and
-// every number in it — is identical to the serial run.
+// Run every (workload, nodes) point of a figure across the host
+// scheduler. Points are independent (per-point workload instance and
+// paired seeded engines) and each writes its own row slot, so row order
+// — and every number in it — is identical to the serial run. Each
+// point's relative_performance trials loop is itself a parallel_for;
+// under the work-stealing scheduler the two levels genuinely compose
+// (inner trials are stolen by idle participants) instead of the inner
+// loop degrading to serial inside a worker.
 inline std::vector<FigureRow> run_plan(const FigurePlan& plan,
                                        apps::PlatformKind platform,
                                        const cluster::OsEnvironment& linux_env,

@@ -157,8 +157,10 @@ int main(int argc, char** argv) {
   }
 
   // Host parallelism and observability parity on the OFP/Linux campaign:
-  //  * serial vs the worker pool must be bit-identical (DESIGN §6), with
-  //    the speedup tracking the host's core count;
+  //  * serial vs the work-stealing scheduler must be bit-identical
+  //    (DESIGN §6), with the speedup tracking the affinity-mask core
+  //    count (on a 1-CPU runner it is ~1x and only the bit-identity
+  //    check carries signal — see EXPERIMENTS.md "Scheduler");
   //  * attaching an obs::Registry must not change a single bit of the
   //    result, and its cost must be in the noise — the instrumented paths
   //    count shard-locally and fold once at the end, so "registry on" is

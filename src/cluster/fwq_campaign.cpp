@@ -340,6 +340,11 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
   }
 
   const RngStream root(config.seed, 0xF80);
+  // Shard boundaries are fixed by nodes_per_shard, never by the host
+  // thread count, and each shard accumulates into its own slot — so the
+  // shard-ordered merge below is bit-identical whether this call runs
+  // top-level or as a nested task group inside another parallel_for
+  // (the work-stealing scheduler executes both without serial fallback).
   parallel_for(
       num_shards,
       [&](std::size_t shard) {

@@ -9,7 +9,9 @@
 // histogram as a weighted bulk (with a small representative sample of the
 // jitter floor). Per-node worst values drive the worst-100 selection.
 //
-// Node simulations run across the host worker pool (common/parallel.h).
+// Node simulations run across the host work-stealing scheduler
+// (common/parallel.h); campaigns issued from inside another parallel
+// region (e.g. a bench plan point) nest as child task groups.
 // Each node's randomness comes from its own split of the campaign seed and
 // each worker writes into index-addressed per-shard slots that are merged
 // in rank order, so results are byte-identical for any `threads` value

@@ -4,162 +4,431 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stop_token>
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 namespace hpcos {
 namespace {
 
-// One in-flight parallel_for. Workers pull dynamically-sized chunks via
-// `next`; the stop flag is checked before every chunk claim so one
-// worker's exception halts the remaining dispatch instead of silently
-// draining the whole range.
-struct Task {
-  std::size_t count = 0;
-  const std::function<void(std::size_t)>* fn = nullptr;
-  std::size_t chunk = 1;
-  // Pool workers allowed to join in (the calling thread always works).
-  std::size_t max_helpers = 0;
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> joiners{0};
-  std::atomic<bool> stop{false};
-  std::mutex error_mutex;
-  std::exception_ptr error;
+struct TaskGroup;
+
+// One contiguous index range of one task group. Chunks live in their
+// group's pre-sized vector (stable addresses), so deques store plain
+// pointers and claiming a chunk never allocates.
+struct Chunk {
+  TaskGroup* group = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
 };
 
-// Lazily-initialized persistent worker pool. Dispatch is a generation
-// counter under a mutex: run() publishes a task and bumps the generation,
-// every worker wakes, works (or skips, past max_helpers), and acks; run()
-// returns once all workers acked the generation, so the Task (a stack
-// object) never outlives its use.
-class WorkerPool {
+// One parallel_for call: its chunk storage, completion count, and error
+// state. `parent` is the group whose chunk was executing when this group
+// was submitted (nullptr at top level); cancellation checks walk the
+// parent chain so a failing ancestor also drains its descendants'
+// remaining chunks. Lifetime: a group is a stack object in run(), which
+// returns only after every chunk is claimed and finished, and a parent
+// group cannot complete while the chunk that spawned a child is still
+// executing — so parent pointers never dangle.
+struct TaskGroup {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  TaskGroup* parent = nullptr;
+  std::vector<Chunk> chunks;
+  std::atomic<bool> stop{false};
+  // Completion state is fully mutex-guarded on purpose: the group is a
+  // stack object in run(), so the waiter may only observe "remaining ==
+  // 0" under the same lock inside which the last finisher decremented
+  // and notified — otherwise the waiter could destroy the group while
+  // that finisher is still touching the condition variable.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;     // guarded by done_mutex
+  std::exception_ptr error;      // guarded by done_mutex
+
+  bool cancelled() const {
+    for (const TaskGroup* g = this; g != nullptr; g = g->parent) {
+      if (g->stop.load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+};
+
+// Chase-Lev work-stealing deque (Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models", PPoPP'13) in the fence-free
+// seq_cst formulation: the owner pushes/pops at the bottom without locks,
+// thieves CAS the top. Slots are atomic pointers, and the owner's
+// release-store of `bottom_` paired with thieves' acquire-loads carries
+// the happens-before edge for the chunk payload, so the algorithm is
+// both C++-correct and ThreadSanitizer-clean without standalone fences.
+// Grown buffers are retired, not freed, until the deque dies: a thief
+// racing a grow may still read the old buffer's slot for an index the
+// grow copied, which stays valid.
+class ChunkDeque {
  public:
-  static WorkerPool& instance() {
-    static WorkerPool pool;
-    return pool;
+  ChunkDeque() { buf_.store(new_buffer(kInitialCap), std::memory_order_relaxed); }
+
+  // Owner only.
+  void push(Chunk* c) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* a = buf_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(a->cap)) a = grow(a, t, b);
+    a->put(b, c);
+    bottom_.store(b + 1, std::memory_order_release);
   }
 
-  // True while the current thread is executing chunks of a task — on pool
-  // workers AND on the calling thread (which always participates). Nested
-  // parallel_for falls back to serial instead of re-entering the pool.
-  static bool in_parallel_region() { return in_parallel_region_; }
-
-  void run(std::size_t count, const std::function<void(std::size_t)>& fn,
-           std::size_t threads) {
-    // Serialize top-level calls: the pool runs one task at a time.
-    std::lock_guard<std::mutex> session(session_mutex_);
-    ensure_started();
-
-    Task task;
-    task.count = count;
-    task.fn = &fn;
-    task.max_helpers = threads - 1;
-    // Dynamic chunking: grab modest chunks so stragglers (nodes with busy
-    // noise traces) don't serialize the run.
-    task.chunk = std::max<std::size_t>(1, count / (threads * 8));
-
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      task_ = &task;
-      acked_ = 0;
-      ++generation_;
+  // Owner only. nullptr when empty (or when a thief won the last item).
+  Chunk* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* a = buf_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    Chunk* c = nullptr;
+    if (t <= b) {
+      c = a->get(b);
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          c = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
     }
-    wake_cv_.notify_all();
+    return c;
+  }
 
-    execute(task);  // the calling thread is always a worker
-
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return acked_ == workers_.size(); });
-    task_ = nullptr;
-    lock.unlock();
-
-    if (task.error) std::rethrow_exception(task.error);
+  // Any thread. nullptr when empty or when the CAS lost a race (callers
+  // treat both as "try another victim").
+  Chunk* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Buffer* a = buf_.load(std::memory_order_acquire);
+    Chunk* c = a->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return c;
   }
 
  private:
-  void ensure_started() {
-    if (!workers_.empty()) return;
-    const std::size_t n = default_parallelism();
-    workers_.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      workers_.emplace_back(
-          [this](std::stop_token st) { worker_loop(st); });
+  static constexpr std::size_t kInitialCap = 256;  // power of two
+
+  struct Buffer {
+    explicit Buffer(std::size_t n)
+        : cap(n), mask(n - 1),
+          slots(std::make_unique<std::atomic<Chunk*>[]>(n)) {}
+    const std::size_t cap;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<Chunk*>[]> slots;
+
+    Chunk* get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
     }
+    void put(std::int64_t i, Chunk* c) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          c, std::memory_order_relaxed);
+    }
+  };
+
+  Buffer* new_buffer(std::size_t n) {
+    buffers_.push_back(std::make_unique<Buffer>(n));
+    return buffers_.back().get();
   }
 
-  void worker_loop(std::stop_token st) {
-    std::uint64_t seen = 0;
-    for (;;) {
-      Task* task = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_cv_.wait(lock, st, [&] { return generation_ != seen; });
-        if (st.stop_requested()) return;
-        seen = generation_;
-        task = task_;
-      }
-      if (task->joiners.fetch_add(1, std::memory_order_relaxed) <
-          task->max_helpers) {
-        execute(*task);
-      }
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++acked_;
-      }
-      done_cv_.notify_one();
-    }
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    Buffer* bigger = new_buffer(old->cap * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buf_.store(bigger, std::memory_order_release);
+    return bigger;
   }
 
-  static void execute(Task& task) {
-    struct RegionGuard {
-      bool prev = in_parallel_region_;
-      RegionGuard() { in_parallel_region_ = true; }
-      ~RegionGuard() { in_parallel_region_ = prev; }
-    } guard;
-    for (;;) {
-      if (task.stop.load(std::memory_order_relaxed)) return;
-      const std::size_t begin =
-          task.next.fetch_add(task.chunk, std::memory_order_relaxed);
-      if (begin >= task.count) return;
-      const std::size_t end = std::min(begin + task.chunk, task.count);
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          (*task.fn)(i);
-        } catch (...) {
-          {
-            std::lock_guard<std::mutex> lock(task.error_mutex);
-            if (!task.error) task.error = std::current_exception();
-          }
-          task.stop.store(true, std::memory_order_relaxed);
-          return;
-        }
-      }
-    }
-  }
-
-  std::mutex session_mutex_;
-  std::mutex mutex_;
-  std::condition_variable_any wake_cv_;  // _any: waitable with stop_token
-  std::condition_variable done_cv_;
-  std::vector<std::jthread> workers_;  // request_stop + join on destruction
-  Task* task_ = nullptr;               // guarded by mutex_
-  std::uint64_t generation_ = 0;       // guarded by mutex_
-  std::size_t acked_ = 0;              // guarded by mutex_
-
-  static thread_local bool in_parallel_region_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<Buffer*> buf_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> buffers_;  // owner-only; retired kept
 };
 
-thread_local bool WorkerPool::in_parallel_region_ = false;
+constexpr std::ptrdiff_t kNoSlot = -1;
+
+// Lazily-initialized work-stealing scheduler. Deque slot 0 belongs to
+// whichever external thread holds the session mutex (top-level calls
+// serialize, as before); slots 1..n belong to the persistent workers.
+// Dispatch wakes only as many sleeping workers as the task group can
+// use — never the whole pool — and idle workers park on a condition
+// variable guarded by a publish epoch so no published chunk can be
+// missed without a wakeup token being minted for it.
+class Scheduler {
+ public:
+  static Scheduler& instance() {
+    static Scheduler s;
+    return s;
+  }
+
+  std::size_t capacity() const { return nworkers_ + 1; }
+
+  static bool in_region() { return tl_executing_ != nullptr; }
+
+  ParallelStats stats() const {
+    ParallelStats s;
+    s.wakeups = wakeups_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.steal_attempts = steal_attempts_.load(std::memory_order_relaxed);
+    s.groups = groups_.load(std::memory_order_relaxed);
+    s.nested_groups = nested_groups_.load(std::memory_order_relaxed);
+    s.chunks_executed = chunks_executed_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn,
+           std::size_t participants) {
+    const bool nested = tl_slot_ != kNoSlot;
+    std::unique_lock<std::mutex> session;
+    if (!nested) {
+      session = std::unique_lock<std::mutex>(session_mutex_);
+      tl_slot_ = 0;
+    }
+
+    TaskGroup group;
+    group.fn = &fn;
+    group.parent = tl_executing_;
+    // Dynamic chunking: modest chunks so stragglers (nodes with busy
+    // noise traces) don't serialize the run. Boundaries are a pure
+    // function of (count, participants); results never depend on them.
+    const std::size_t chunk =
+        std::max<std::size_t>(1, count / (participants * 8));
+    const std::size_t nchunks = (count + chunk - 1) / chunk;
+    group.chunks.resize(nchunks);
+    for (std::size_t i = 0; i < nchunks; ++i) {
+      group.chunks[i].group = &group;
+      group.chunks[i].begin = i * chunk;
+      group.chunks[i].end = std::min(count, (i + 1) * chunk);
+    }
+    group.remaining = nchunks;  // published by the deque pushes below
+
+    groups_.fetch_add(1, std::memory_order_relaxed);
+    if (nested) nested_groups_.fetch_add(1, std::memory_order_relaxed);
+
+    // Publish: reverse push so the owner pops index-ascending chunks
+    // (locality) while thieves steal from the high end.
+    ChunkDeque& dq = deques_[static_cast<std::size_t>(tl_slot_)];
+    for (std::size_t i = nchunks; i-- > 0;) dq.push(&group.chunks[i]);
+    wake_workers(participants - 1);
+
+    help(group);
+
+    if (!nested) tl_slot_ = kNoSlot;
+    if (group.error) std::rethrow_exception(group.error);
+  }
+
+ private:
+  Scheduler() {
+    std::size_t n = default_parallelism();
+    if (const char* env = std::getenv("HPCOS_PARALLEL_WORKERS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1 && v <= 256) {
+        n = static_cast<std::size_t>(v);
+      }
+    }
+    nworkers_ = n;
+    deques_ = std::make_unique<ChunkDeque[]>(nworkers_ + 1);
+    workers_.reserve(nworkers_);
+    for (std::size_t i = 0; i < nworkers_; ++i) {
+      workers_.emplace_back(
+          [this, i](std::stop_token st) { worker_loop(i + 1, st); });
+    }
+  }
+
+  void worker_loop(std::size_t slot, std::stop_token st) {
+    tl_slot_ = static_cast<std::ptrdiff_t>(slot);
+    tl_rng_ = 0x9E3779B97F4A7C15ull * (slot + 1) | 1;
+    while (!st.stop_requested()) {
+      // The epoch is sampled before probing: if a publish lands after the
+      // probe missed it, the epoch comparison under the sleep mutex
+      // detects it and re-probes instead of sleeping through it.
+      const std::uint64_t seen =
+          publish_epoch_.load(std::memory_order_acquire);
+      Chunk* c = deques_[slot].pop();
+      if (c == nullptr) c = try_steal();
+      if (c != nullptr) {
+        execute(*c);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      if (publish_epoch_.load(std::memory_order_relaxed) != seen) continue;
+      ++sleepers_;
+      sleep_cv_.wait(lock, st, [&] { return wake_tokens_ > 0; });
+      if (wake_tokens_ > 0) --wake_tokens_;
+      --sleepers_;
+    }
+  }
+
+  // Wake at most `want` sleeping workers; already-awake workers find new
+  // chunks by stealing. Minting tokens under the sleep mutex (after the
+  // chunks are pushed) pairs with the epoch re-check in worker_loop, so
+  // a worker can neither miss the work nor be woken without need.
+  void wake_workers(std::size_t want) {
+    std::size_t granted = 0;
+    {
+      std::lock_guard<std::mutex> lock(sleep_mutex_);
+      publish_epoch_.fetch_add(1, std::memory_order_release);
+      const std::size_t asleep =
+          sleepers_ > wake_tokens_ ? sleepers_ - wake_tokens_ : 0;
+      granted = std::min(want, asleep);
+      wake_tokens_ += granted;
+    }
+    wakeups_.fetch_add(granted, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < granted; ++i) sleep_cv_.notify_one();
+  }
+
+  // Run chunks until `group` completes. Local chunks first, then steals
+  // (which may execute sibling or descendant groups' chunks — helping is
+  // always safe because a chunk never blocks on anything but its own
+  // descendants). Blocking is safe only once nothing is runnable
+  // anywhere: this group's chunks are then all in flight on other
+  // threads, which by induction make progress, and the last finisher
+  // notifies done_cv.
+  void help(TaskGroup& group) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(group.done_mutex);
+        if (group.remaining == 0) return;
+      }
+      Chunk* c = deques_[static_cast<std::size_t>(tl_slot_)].pop();
+      if (c == nullptr) c = try_steal();
+      if (c != nullptr) {
+        execute(*c);
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(group.done_mutex);
+      group.done_cv.wait(lock, [&] { return group.remaining == 0; });
+      return;
+    }
+  }
+
+  Chunk* try_steal() {
+    const std::size_t n = nworkers_ + 1;
+    const std::size_t me = static_cast<std::size_t>(tl_slot_);
+    if (tl_rng_ == 0) {
+      tl_rng_ = 0x9E3779B97F4A7C15ull * (me + 2) | 1;
+    }
+    std::uint64_t attempts = 0;
+    Chunk* c = nullptr;
+    // Randomized victims first (contention spread), then one
+    // deterministic sweep so "no chunk anywhere" is a reliable verdict
+    // before a caller decides to block or sleep.
+    for (std::size_t round = 0; round < 2 * n && c == nullptr; ++round) {
+      tl_rng_ ^= tl_rng_ << 13;
+      tl_rng_ ^= tl_rng_ >> 7;
+      tl_rng_ ^= tl_rng_ << 17;
+      const std::size_t victim = static_cast<std::size_t>(tl_rng_ % n);
+      if (victim == me) continue;
+      ++attempts;
+      c = deques_[victim].steal();
+    }
+    for (std::size_t victim = 0; victim < n && c == nullptr; ++victim) {
+      if (victim == me) continue;
+      ++attempts;
+      c = deques_[victim].steal();
+    }
+    steal_attempts_.fetch_add(attempts, std::memory_order_relaxed);
+    if (c != nullptr) steals_.fetch_add(1, std::memory_order_relaxed);
+    return c;
+  }
+
+  void execute(Chunk& c) {
+    TaskGroup* g = c.group;
+    // A cancelling ancestor drains descendants too: claimed chunks are
+    // discarded (never started), preserving chunk-granularity fail-fast.
+    if (!g->cancelled()) {
+      TaskGroup* const prev = tl_executing_;
+      tl_executing_ = g;
+      chunks_executed_.fetch_add(1, std::memory_order_relaxed);
+      for (std::size_t i = c.begin; i < c.end; ++i) {
+        try {
+          (*g->fn)(i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(g->done_mutex);
+            if (!g->error) g->error = std::current_exception();
+          }
+          g->stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      tl_executing_ = prev;
+    }
+    // Decrement AND notify inside the critical section: the waiter can
+    // then only see completion after this finisher is done with the
+    // group's synchronization objects (see TaskGroup).
+    std::lock_guard<std::mutex> lock(g->done_mutex);
+    if (--g->remaining == 0) g->done_cv.notify_all();
+  }
+
+  // Top-level session (external callers serialize; workers never take it).
+  std::mutex session_mutex_;
+
+  // Sleep/wake machinery.
+  std::mutex sleep_mutex_;
+  std::condition_variable_any sleep_cv_;  // _any: waitable with stop_token
+  std::size_t sleepers_ = 0;              // guarded by sleep_mutex_
+  std::size_t wake_tokens_ = 0;           // guarded by sleep_mutex_
+  std::atomic<std::uint64_t> publish_epoch_{0};
+
+  std::size_t nworkers_ = 0;
+  std::unique_ptr<ChunkDeque[]> deques_;  // [0] = external caller slot
+  std::vector<std::jthread> workers_;     // request_stop + join on destruction
+
+  std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> steal_attempts_{0};
+  std::atomic<std::uint64_t> groups_{0};
+  std::atomic<std::uint64_t> nested_groups_{0};
+  std::atomic<std::uint64_t> chunks_executed_{0};
+
+  static thread_local std::ptrdiff_t tl_slot_;
+  static thread_local TaskGroup* tl_executing_;
+  static thread_local std::uint64_t tl_rng_;
+};
+
+thread_local std::ptrdiff_t Scheduler::tl_slot_ = kNoSlot;
+thread_local TaskGroup* Scheduler::tl_executing_ = nullptr;
+thread_local std::uint64_t Scheduler::tl_rng_ = 0;
 
 }  // namespace
 
 std::size_t default_parallelism() {
+#ifdef __linux__
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int n = CPU_COUNT(&mask);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+#endif
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<std::size_t>(hc);
 }
+
+std::size_t parallel_capacity() { return Scheduler::instance().capacity(); }
+
+bool in_parallel_region() { return Scheduler::in_region(); }
+
+ParallelStats parallel_stats() { return Scheduler::instance().stats(); }
 
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn,
@@ -167,13 +436,14 @@ void parallel_for(std::size_t count,
   if (count == 0) return;
   if (threads == 0) threads = default_parallelism();
   threads = std::min(threads, count);
-
-  if (threads <= 1 || WorkerPool::in_parallel_region()) {
+  if (threads > 1) {
+    threads = std::min(threads, Scheduler::instance().capacity());
+  }
+  if (threads <= 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-
-  WorkerPool::instance().run(count, fn, threads);
+  Scheduler::instance().run(count, fn, threads);
 }
 
 }  // namespace hpcos

@@ -4,34 +4,78 @@
 // construction (each node owns its RNG streams and event queue), so a
 // chunked parallel_for is all we need: results land in caller-provided,
 // index-addressed storage with no cross-thread shared mutable state, and
-// callers merge per-slot results in rank order. Workers live in a lazily
-// initialized persistent pool (std::jthread, condition-variable dispatch)
-// so campaign drivers that issue many parallel_for calls don't pay a
-// spawn/join per call.
+// callers merge per-slot results in rank order. Execution runs on a
+// lazily initialized work-stealing scheduler: each participant owns a
+// chunk deque (lock-free local pop from the bottom, randomized-victim
+// steal from the top), and every parallel_for forms a task group whose
+// chunks any participant may execute. Scheduling order is therefore
+// nondeterministic, but each index runs exactly once and results are
+// index-addressed, so outputs — and every shard-ordered merge built on
+// them — are bit-identical across host thread counts.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace hpcos {
 
-// Number of worker threads to use by default: hardware concurrency, at
+// Number of worker threads to use by default. On Linux this is the CPU
+// affinity-mask population (sched_getaffinity), which respects taskset /
+// cpuset / container quotas where std::thread::hardware_concurrency()
+// over-reports; elsewhere it falls back to hardware_concurrency(). At
 // least 1.
 std::size_t default_parallelism();
 
+// Maximum number of threads a single parallel_for can occupy: the
+// scheduler's worker count plus the calling thread. The pool is sized
+// once at first use from default_parallelism() (override:
+// HPCOS_PARALLEL_WORKERS=<n> in the environment, clamped to [1, 256]);
+// requests with threads > parallel_capacity() are honored up to this
+// capacity rather than silently assuming helpers that don't exist.
+std::size_t parallel_capacity();
+
+// True while the current thread is executing chunks of a parallel_for —
+// on scheduler workers and on the calling thread (which always
+// participates).
+bool in_parallel_region();
+
+// Cumulative scheduler event counts since process start (monotonic,
+// cheap relaxed atomics). Exposed so tests and the bench_sched
+// microbenchmark can fold deltas into an obs::Registry under the
+// parallel.* counter names given below.
+struct ParallelStats {
+  std::uint64_t wakeups = 0;         // parallel.wakeups.count
+  std::uint64_t steals = 0;          // parallel.steals.count
+  std::uint64_t steal_attempts = 0;  // parallel.steal_attempts.count
+  std::uint64_t groups = 0;          // parallel.groups.count
+  std::uint64_t nested_groups = 0;   // parallel.nested_groups.count
+  std::uint64_t chunks_executed = 0; // parallel.chunks.count
+};
+ParallelStats parallel_stats();
+
 // Invoke fn(i) for every i in [0, count) across up to `threads` workers
-// (0 = default_parallelism(), 1 = inline serial execution).
+// (0 = default_parallelism(), 1 = inline serial execution; values above
+// parallel_capacity() are clamped to it).
 //
-// Cancellation: once any invocation throws, a shared stop flag halts the
-// remaining dispatch at chunk granularity — workers finish the chunk they
-// hold but claim no new indices — and the first exception is rethrown on
-// the calling thread after all workers quiesce. Indices past the failing
-// chunk are therefore generally NOT visited; do not rely on full coverage
-// when fn can throw.
+// Nesting: a call made from inside a running parallel_for (any depth)
+// enqueues its chunks into the scheduler as a child task group instead
+// of degrading to serial. The nested caller works on its own chunks and
+// idle participants steal the rest, so inner loops genuinely
+// parallelize; the nested call returns once its group completes.
+// Top-level calls from distinct user threads still serialize against
+// each other.
 //
-// Nested calls (fn itself calling parallel_for) execute inline serially on
-// the worker that reached them; concurrent top-level calls from distinct
-// user threads serialize against each other.
+// Cancellation: once any invocation throws, a per-group stop flag halts
+// the remaining dispatch at chunk granularity — participants finish the
+// chunk they hold but claim no new ones — and the first exception is
+// rethrown on the thread that issued that parallel_for after the group
+// quiesces. Cancellation propagates downward: chunks of nested (child)
+// groups under a cancelling ancestor are discarded at the same chunk
+// granularity, and such a nested call may then return normally without
+// having visited every index (its own group saw no exception; the
+// ancestor's rethrow reports the failure). Do not rely on full coverage
+// when fn can throw anywhere in the enclosing nest.
 void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

@@ -3,9 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
+
+#ifdef __linux__
+#include <sched.h>
+#endif
 
 #include "common/histogram.h"
 #include "common/parallel.h"
@@ -278,16 +285,140 @@ TEST(ParallelFor, PoolSurvivesRepeatedDispatch) {
   }
 }
 
-TEST(ParallelFor, NestedCallsFallBackToSerial) {
-  std::atomic<int> total{0};
+TEST(ParallelFor, NestedCallsCoverEveryIndexOnce) {
+  // Nested calls now enqueue into the scheduler instead of degrading to
+  // serial; coverage must stay exactly-once at both levels.
+  std::vector<std::atomic<int>> hits(8 * 16);
   parallel_for(
       8,
-      [&](std::size_t) {
-        parallel_for(16, [&](std::size_t) { total.fetch_add(1); }, 4);
+      [&](std::size_t outer) {
+        parallel_for(
+            16,
+            [&](std::size_t inner) { hits[outer * 16 + inner].fetch_add(1); },
+            4);
       },
       4);
-  EXPECT_EQ(total.load(), 8 * 16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
+
+TEST(ParallelFor, NestedWorkIsDistributedAcrossThreads) {
+  // The scheduler's point: an inner parallel_for issued from inside a
+  // running worker must have its chunks stolen by idle participants, not
+  // run serially on the nested caller. One outer task is trivial so its
+  // thread becomes a thief; the other runs a slow inner loop whose
+  // chunks the thief picks up.
+  const auto before = parallel_stats();
+  std::mutex m;
+  std::set<std::thread::id> inner_threads;
+  parallel_for(
+      2,
+      [&](std::size_t outer) {
+        if (outer == 0) return;
+        parallel_for(
+            32,
+            [&](std::size_t) {
+              {
+                std::lock_guard<std::mutex> lock(m);
+                inner_threads.insert(std::this_thread::get_id());
+              }
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            },
+            2);
+      },
+      2);
+  const auto after = parallel_stats();
+  EXPECT_GE(after.nested_groups - before.nested_groups, 1u);
+  EXPECT_GE(after.steals - before.steals, 1u);
+  EXPECT_GE(inner_threads.size(), 2u);
+}
+
+TEST(ParallelFor, WakesOnlyNeededWorkers) {
+  // Dispatch must wake at most threads - 1 sleeping workers per call —
+  // never the whole pool (parallel.wakeups.count is the proof). Serial
+  // calls must wake nobody.
+  parallel_for(64, [](std::size_t) {}, 2);  // warm the pool
+  const auto before = parallel_stats();
+  const std::uint64_t rounds = 100;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    parallel_for(256, [](std::size_t) {}, 2);
+  }
+  const auto after = parallel_stats();
+  EXPECT_LE(after.wakeups - before.wakeups, rounds);
+
+  const auto serial_before = parallel_stats();
+  for (int r = 0; r < 10; ++r) {
+    parallel_for(100, [](std::size_t) {}, 1);
+  }
+  EXPECT_EQ(parallel_stats().wakeups, serial_before.wakeups);
+}
+
+TEST(ParallelFor, OversubscribedRequestIsHonoredUpToCapacity) {
+  // threads far beyond the pool must clamp to parallel_capacity() —
+  // explicitly, with exactly-once coverage and without assuming helpers
+  // that don't exist (the old pool's max_helpers bug).
+  ASSERT_GE(parallel_capacity(), 2u);
+  std::vector<std::atomic<int>> hits(5000);
+  const auto before = parallel_stats();
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+               1000);
+  const auto after = parallel_stats();
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  // One dispatch can wake at most the pool, not the requested 999.
+  EXPECT_LE(after.wakeups - before.wakeups, parallel_capacity() - 1);
+}
+
+TEST(ParallelFor, NestedExceptionPropagatesThroughOuterGroup) {
+  // An inner-group exception rethrows at the inner call site (inside the
+  // outer fn), is caught by the outer chunk, and surfaces from the outer
+  // parallel_for — the documented contract, now across real nesting.
+  EXPECT_THROW(
+      parallel_for(
+          4,
+          [&](std::size_t) {
+            parallel_for(
+                64,
+                [&](std::size_t i) {
+                  if (i == 7) throw std::runtime_error("inner");
+                },
+                2);
+          },
+          2),
+      std::runtime_error);
+}
+
+TEST(DefaultParallelism, IsAtLeastOne) {
+  EXPECT_GE(default_parallelism(), 1u);
+}
+
+#ifdef __linux__
+TEST(DefaultParallelism, FollowsAffinityMask) {
+  // hardware_concurrency() over-reports under taskset/cgroup cpusets
+  // (the ROADMAP's 1-CPU CI container); default_parallelism() must
+  // follow the affinity mask instead.
+  cpu_set_t saved;
+  CPU_ZERO(&saved);
+  ASSERT_EQ(sched_getaffinity(0, sizeof(saved), &saved), 0);
+  EXPECT_EQ(default_parallelism(),
+            static_cast<std::size_t>(CPU_COUNT(&saved)));
+
+  int first = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &saved)) {
+      first = c;
+      break;
+    }
+  }
+  ASSERT_GE(first, 0);
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(first, &one);
+  ASSERT_EQ(sched_setaffinity(0, sizeof(one), &one), 0);
+  EXPECT_EQ(default_parallelism(), 1u);
+  ASSERT_EQ(sched_setaffinity(0, sizeof(saved), &saved), 0);
+  EXPECT_EQ(default_parallelism(),
+            static_cast<std::size_t>(CPU_COUNT(&saved)));
+}
+#endif
 
 }  // namespace
 }  // namespace hpcos

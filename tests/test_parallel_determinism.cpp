@@ -18,6 +18,8 @@
 #include "common/histogram.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/sketch.h"
+#include "common/stats.h"
 #include "noise/profiles.h"
 
 namespace hpcos::cluster {
@@ -190,6 +192,123 @@ TEST(ParallelDeterminism, RelativePerformanceIdenticalAcrossThreadCounts) {
   EXPECT_DOUBLE_EQ(serial.stddev_ratio, four.stddev_ratio);
   EXPECT_DOUBLE_EQ(serial.mean_ratio, dflt.mean_ratio);
   EXPECT_DOUBLE_EQ(serial.stddev_ratio, dflt.stddev_ratio);
+}
+
+TEST(ParallelDeterminism, NestedCampaignMergesIdenticalAcrossThreadCounts) {
+  // A campaign whose per-shard fn itself calls parallel_for (the shape
+  // run_plan + relative_performance now execute via the work-stealing
+  // scheduler): inner results land in index-addressed slots, shard
+  // accumulators fold them in item order, and shards merge in shard
+  // order — so Histogram, OnlineStats, and QuantileSketch must all be
+  // bit-identical across host thread counts.
+  struct Merged {
+    LogHistogram hist{1000.0, 1e6, 1024};
+    OnlineStats stats;
+    QuantileSketch sketch{0.01};
+  };
+  auto run = [](std::size_t threads) {
+    const std::size_t shards = 7;
+    const std::size_t per_shard = 141;  // not a chunk multiple: ragged
+    std::vector<Merged> accs(shards);
+    parallel_for(
+        shards,
+        [&](std::size_t sh) {
+          std::vector<double> vals(per_shard);
+          parallel_for(
+              per_shard,
+              [&](std::size_t i) {
+                RngStream rng(Seed{0xABCD}, sh * 1000 + i);
+                vals[i] = rng.lognormal(8.0, 1.3);
+              },
+              threads);
+          for (double v : vals) {
+            accs[sh].hist.add(v);
+            accs[sh].stats.add(v);
+            accs[sh].sketch.add(v);
+          }
+        },
+        threads);
+    Merged m;
+    for (const auto& acc : accs) {
+      m.hist.merge(acc.hist);
+      m.stats.merge(acc.stats);
+      m.sketch.merge(acc.sketch);
+    }
+    return m;
+  };
+  const Merged serial = run(1);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const Merged par = run(threads);
+    ASSERT_EQ(par.hist.total_count(), serial.hist.total_count());
+    EXPECT_DOUBLE_EQ(par.hist.observed_min(), serial.hist.observed_min());
+    EXPECT_DOUBLE_EQ(par.hist.observed_max(), serial.hist.observed_max());
+    for (std::size_t i = 0; i < serial.hist.num_bins(); ++i) {
+      ASSERT_EQ(par.hist.bin_count(i), serial.hist.bin_count(i))
+          << "threads " << threads << " bin " << i;
+    }
+    EXPECT_EQ(par.stats.count(), serial.stats.count());
+    // EXPECT_EQ on doubles on purpose: bitwise identity.
+    EXPECT_EQ(par.stats.mean(), serial.stats.mean());
+    EXPECT_EQ(par.stats.stddev(), serial.stats.stddev());
+    EXPECT_EQ(par.stats.min(), serial.stats.min());
+    EXPECT_EQ(par.stats.max(), serial.stats.max());
+    EXPECT_EQ(par.sketch.count(), serial.sketch.count());
+    EXPECT_EQ(par.sketch.bucket_count(), serial.sketch.bucket_count());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+      EXPECT_EQ(par.sketch.quantile(q), serial.sketch.quantile(q))
+          << "threads " << threads << " q " << q;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, NestedRelativePerformanceIdenticalAcrossThreads) {
+  // run_plan's composition: an outer parallel_for over figure points
+  // whose fn calls relative_performance, whose trials loop is itself a
+  // parallel_for. Previously the inner loop fell back to serial inside a
+  // worker; now both levels run on the scheduler, and every row must
+  // stay bit-identical for any (outer, inner) host thread combination.
+  class TinyWorkload final : public Workload {
+   public:
+    std::string name() const override { return "tiny-nested"; }
+    int iterations() const override { return 4; }
+    RankWork rank_work(int, const JobConfig&,
+                       const OsEnvironment&) const override {
+      RankWork w;
+      w.compute = SimTime::ms(5);
+      w.allreduces = 1;
+      w.allreduce_bytes = 4096;
+      return w;
+    }
+  };
+  const auto lin = make_ofp_linux_env();
+  const auto mck = make_ofp_mckernel_env();
+  auto run = [&](std::size_t outer_threads, std::size_t inner_threads) {
+    std::vector<RelativeResult> rows(4);
+    TinyWorkload w;
+    parallel_for(
+        rows.size(),
+        [&](std::size_t p) {
+          const JobConfig job{.nodes = 32 << p, .ranks_per_node = 16,
+                              .threads_per_rank = 16};
+          rows[p] = relative_performance(w, lin, mck, job, /*trials=*/5,
+                                         Seed{0xF1E + p}, inner_threads);
+        },
+        outer_threads);
+    return rows;
+  };
+  const auto serial = run(1, 1);
+  const std::vector<std::pair<std::size_t, std::size_t>> combos{
+      {2, 2}, {8, 2}, {2, 8}};
+  for (const auto& [outer, inner] : combos) {
+    const auto par = run(outer, inner);
+    ASSERT_EQ(par.size(), serial.size());
+    for (std::size_t p = 0; p < serial.size(); ++p) {
+      EXPECT_DOUBLE_EQ(par[p].mean_ratio, serial[p].mean_ratio)
+          << outer << "x" << inner << " row " << p;
+      EXPECT_DOUBLE_EQ(par[p].stddev_ratio, serial[p].stddev_ratio)
+          << outer << "x" << inner << " row " << p;
+    }
+  }
 }
 
 TEST(ParallelDeterminism, HistogramShardMergeEqualsSinglePass) {
