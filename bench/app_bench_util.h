@@ -18,6 +18,7 @@
 #include "common/parallel.h"
 #include "common/table.h"
 #include "obs/bench_report.h"
+#include "obs/prof/prof.h"
 
 namespace hpcos::bench {
 
@@ -35,6 +36,7 @@ inline FigureRow run_point(const std::string& workload,
                            const cluster::OsEnvironment& mck_env,
                            std::int64_t nodes, double paper_value,
                            int trials = 3, Seed seed = Seed{20211114}) {
+  PROF_SCOPE("bench.point");
   const auto w = apps::make_workload(workload, platform);
   const auto job = apps::job_geometry(workload, platform, nodes);
   const auto rel = cluster::relative_performance(*w, linux_env, mck_env, job,

@@ -21,6 +21,8 @@
 #include "common/table.h"
 #include "noise/profiles.h"
 #include "obs/bench_report.h"
+#include "obs/prof/prof.h"
+#include "obs/prof_report.h"
 #include "obs/registry.h"
 
 namespace {
@@ -218,6 +220,59 @@ int main(int argc, char** argv) {
         "registry.topk_pushes", "count",
         static_cast<double>(
             registry.find_counter("fwq.topk.pushes")->value()));
+  }
+
+  // Profiler parity on the same campaign: the host-side self-profiler
+  // (obs/prof) must obey the registry's contract — enabling it changes
+  // no bit of the simulation result, and its scope fire counts are a
+  // pure function of the simulated work (gated), while its times are
+  // host-dependent (host.*, ignored). The disabled case is the default
+  // everywhere else in this binary, so the campaign timings above double
+  // as the "one branch when off" regression check.
+  {
+    print_banner(std::cout, "Profiler parity: prof off vs prof on");
+    cluster::FwqCampaignConfig pcfg;
+    pcfg.nodes = q ? 64 : 1024;
+    pcfg.app_cores = 256;
+    pcfg.duration_per_core = duration;
+    pcfg.max_materialized_hits = 2048;
+    pcfg.seed = Seed{20211115};
+    auto timed_run = [&]() {
+      const auto start = std::chrono::steady_clock::now();
+      auto r = cluster::run_fwq_campaign(noise::ofp_linux_profile(), pcfg);
+      const auto stop = std::chrono::steady_clock::now();
+      return std::make_pair(
+          std::move(r),
+          std::chrono::duration<double>(stop - start).count());
+    };
+    const bool was_enabled = obs::prof::enabled();
+    obs::prof::set_enabled(false);
+    const auto [plain, plain_s] = timed_run();
+    obs::prof::reset();
+    obs::prof::set_enabled(true);
+    const auto [profiled, prof_s] = timed_run();
+    obs::prof::set_enabled(was_enabled);
+    const auto profile = obs::prof::collect();
+
+    const bool prof_identical = identical_results(plain, profiled);
+    const auto* shard_stat = profile.find("fwq.shard");
+    std::cout << "prof off: " << TextTable::fmt(plain_s, 3)
+              << " s;  prof on: " << TextTable::fmt(prof_s, 3)
+              << " s;  overhead " << TextTable::fmt(prof_s / plain_s, 3)
+              << "x;  results "
+              << (prof_identical ? "bit-identical" : "DIFFER (BUG)")
+              << ";  scope events=" << profile.events
+              << " dropped=" << profile.dropped << "\n";
+    obs::print_profile(std::cout, profile, /*top=*/10);
+    report.add_metric("prof.bit_identical", "count",
+                      prof_identical ? 1.0 : 0.0);
+    report.add_metric("prof.dropped", "count",
+                      static_cast<double>(profile.dropped));
+    report.add_metric(
+        "prof.fwq.shard.count", "count",
+        shard_stat != nullptr ? static_cast<double>(shard_stat->count) : 0.0);
+    report.add_metric("host.prof.overhead_ratio", "ratio", prof_s / plain_s);
+    if (!prof_identical) return 1;
   }
 
   // nodes_per_shard sweep: shard geometry fixes the floating-point

@@ -8,6 +8,8 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/prof/mem.h"
+#include "obs/prof/prof.h"
 
 namespace hpcos::cluster {
 namespace {
@@ -345,9 +347,12 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
   // shard-ordered merge below is bit-identical whether this call runs
   // top-level or as a nested task group inside another parallel_for
   // (the work-stealing scheduler executes both without serial fallback).
+  obs::prof::memory_counter("fwq.shards")
+      ->add(num_shards * sizeof(ShardAccumulator));
   parallel_for(
       num_shards,
       [&](std::size_t shard) {
+        PROF_SCOPE("fwq.shard");
         ShardAccumulator& acc = shards[shard];
         const std::int64_t begin =
             static_cast<std::int64_t>(shard) * config.nodes_per_shard;
@@ -360,7 +365,11 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
       },
       config.threads);
 
-  // Merge in rank (shard) order.
+  // Merge in rank (shard) order. The profiler scope covers the whole
+  // serial tail (merge, worst-N selection, registry fold): that is the
+  // campaign's Amdahl term, worth seeing as one line in the hotspot
+  // table.
+  PROF_SCOPE("fwq.merge");
   result.per_source.resize(attrib_slots);
   for (std::size_t i = 0; i < profile.sources.size(); ++i) {
     result.per_source[i].source = profile.sources[i].name;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -16,8 +17,16 @@
 #include <sched.h>
 #endif
 
+#include "obs/prof/mem.h"
+
 namespace hpcos {
 namespace {
+
+std::int64_t host_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 struct TaskGroup;
 
@@ -123,6 +132,14 @@ class ChunkDeque {
     return c;
   }
 
+  // Any thread; approximate by design (two relaxed loads racing pops and
+  // steals). Good enough for backlog telemetry, never for control flow.
+  std::size_t approx_depth() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
  private:
   static constexpr std::size_t kInitialCap = 256;  // power of two
 
@@ -146,6 +163,8 @@ class ChunkDeque {
 
   Buffer* new_buffer(std::size_t n) {
     buffers_.push_back(std::make_unique<Buffer>(n));
+    obs::prof::memory_counter("parallel.deque")
+        ->add(sizeof(Buffer) + n * sizeof(std::atomic<Chunk*>));
     return buffers_.back().get();
   }
 
@@ -193,6 +212,42 @@ class Scheduler {
     return s;
   }
 
+  std::vector<WorkerHealth> worker_health() const {
+    std::vector<WorkerHealth> out(nworkers_ + 1);
+    for (std::size_t i = 0; i <= nworkers_; ++i) {
+      const SlotHealth& h = health_[i];
+      out[i].chunks = h.chunks.load(std::memory_order_relaxed);
+      out[i].pushes = h.pushes.load(std::memory_order_relaxed);
+      out[i].steals = h.steals.load(std::memory_order_relaxed);
+      out[i].steal_attempts =
+          h.steal_attempts.load(std::memory_order_relaxed);
+      out[i].parks = h.parks.load(std::memory_order_relaxed);
+      out[i].park_ns = h.park_ns.load(std::memory_order_relaxed);
+      out[i].depth_sum = h.depth_sum.load(std::memory_order_relaxed);
+      out[i].depth_samples =
+          h.depth_samples.load(std::memory_order_relaxed);
+      out[i].max_depth = h.max_depth.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void set_timeline(bool enabled) {
+    std::lock_guard<std::mutex> lock(timeline_mutex_);
+    park_events_.clear();
+    depth_samples_.clear();
+    timeline_enabled_.store(enabled, std::memory_order_release);
+  }
+
+  std::vector<ParkEvent> park_events() const {
+    std::lock_guard<std::mutex> lock(timeline_mutex_);
+    return park_events_;
+  }
+
+  std::vector<DepthSample> depth_samples() const {
+    std::lock_guard<std::mutex> lock(timeline_mutex_);
+    return depth_samples_;
+  }
+
   void run(std::size_t count, const std::function<void(std::size_t)>& fn,
            std::size_t participants) {
     const bool nested = tl_slot_ != kNoSlot;
@@ -226,6 +281,9 @@ class Scheduler {
     // (locality) while thieves steal from the high end.
     ChunkDeque& dq = deques_[static_cast<std::size_t>(tl_slot_)];
     for (std::size_t i = nchunks; i-- > 0;) dq.push(&group.chunks[i]);
+    health_[static_cast<std::size_t>(tl_slot_)].pushes.fetch_add(
+        nchunks, std::memory_order_relaxed);
+    sample_depths();
     wake_workers(participants - 1);
 
     help(group);
@@ -246,6 +304,7 @@ class Scheduler {
     }
     nworkers_ = n;
     deques_ = std::make_unique<ChunkDeque[]>(nworkers_ + 1);
+    health_ = std::make_unique<SlotHealth[]>(nworkers_ + 1);
     workers_.reserve(nworkers_);
     for (std::size_t i = 0; i < nworkers_; ++i) {
       workers_.emplace_back(
@@ -271,9 +330,22 @@ class Scheduler {
       std::unique_lock<std::mutex> lock(sleep_mutex_);
       if (publish_epoch_.load(std::memory_order_relaxed) != seen) continue;
       ++sleepers_;
+      const std::int64_t park_start = host_now_ns();
       sleep_cv_.wait(lock, st, [&] { return wake_tokens_ > 0; });
+      const std::int64_t park_end = host_now_ns();
       if (wake_tokens_ > 0) --wake_tokens_;
       --sleepers_;
+      lock.unlock();
+      SlotHealth& h = health_[slot];
+      h.parks.fetch_add(1, std::memory_order_relaxed);
+      h.park_ns.fetch_add(static_cast<std::uint64_t>(park_end - park_start),
+                          std::memory_order_relaxed);
+      if (timeline_enabled_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> tlock(timeline_mutex_);
+        if (park_events_.size() < kTimelineCap) {
+          park_events_.push_back(ParkEvent{slot, park_start, park_end});
+        }
+      }
     }
   }
 
@@ -347,7 +419,40 @@ class Scheduler {
     }
     steal_attempts_.fetch_add(attempts, std::memory_order_relaxed);
     if (c != nullptr) steals_.fetch_add(1, std::memory_order_relaxed);
+    SlotHealth& h = health_[me];
+    h.steal_attempts.fetch_add(attempts, std::memory_order_relaxed);
+    if (c != nullptr) h.steals.fetch_add(1, std::memory_order_relaxed);
     return c;
+  }
+
+  // Publish-time backlog probe: one relaxed depth read per deque. The
+  // counters are always on; timeline appends happen only when enabled
+  // and take the (cold) timeline mutex once per dispatch.
+  void sample_depths() {
+    const bool timeline = timeline_enabled_.load(std::memory_order_acquire);
+    const std::int64_t t = timeline ? host_now_ns() : 0;
+    std::vector<DepthSample> batch;
+    if (timeline) batch.reserve(nworkers_ + 1);
+    for (std::size_t i = 0; i <= nworkers_; ++i) {
+      const std::uint64_t d = deques_[i].approx_depth();
+      SlotHealth& h = health_[i];
+      h.depth_sum.fetch_add(d, std::memory_order_relaxed);
+      h.depth_samples.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t prev = h.max_depth.load(std::memory_order_relaxed);
+      while (prev < d && !h.max_depth.compare_exchange_weak(
+                             prev, d, std::memory_order_relaxed)) {
+      }
+      if (timeline) {
+        batch.push_back(DepthSample{i, t, static_cast<std::size_t>(d)});
+      }
+    }
+    if (timeline) {
+      std::lock_guard<std::mutex> lock(timeline_mutex_);
+      for (const DepthSample& s : batch) {
+        if (depth_samples_.size() >= kTimelineCap) break;
+        depth_samples_.push_back(s);
+      }
+    }
   }
 
   void execute(Chunk& c) {
@@ -358,6 +463,8 @@ class Scheduler {
       TaskGroup* const prev = tl_executing_;
       tl_executing_ = g;
       chunks_executed_.fetch_add(1, std::memory_order_relaxed);
+      health_[static_cast<std::size_t>(tl_slot_)].chunks.fetch_add(
+          1, std::memory_order_relaxed);
       for (std::size_t i = c.begin; i < c.end; ++i) {
         try {
           (*g->fn)(i);
@@ -379,6 +486,24 @@ class Scheduler {
     if (--g->remaining == 0) g->done_cv.notify_all();
   }
 
+  // Per-slot health counters. Each counter has a single writer (the
+  // slot's own thread) except max_depth/depth_sum/depth_samples, which
+  // any publisher may bump; cache-line alignment keeps the common
+  // single-writer case free of false sharing.
+  struct alignas(64) SlotHealth {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> pushes{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> park_ns{0};
+    std::atomic<std::uint64_t> depth_sum{0};
+    std::atomic<std::uint64_t> depth_samples{0};
+    std::atomic<std::uint64_t> max_depth{0};
+  };
+
+  static constexpr std::size_t kTimelineCap = 65536;
+
   // Top-level session (external callers serialize; workers never take it).
   std::mutex session_mutex_;
 
@@ -391,7 +516,14 @@ class Scheduler {
 
   std::size_t nworkers_ = 0;
   std::unique_ptr<ChunkDeque[]> deques_;  // [0] = external caller slot
+  std::unique_ptr<SlotHealth[]> health_;  // parallel to deques_
   std::vector<std::jthread> workers_;     // request_stop + join on destruction
+
+  // Timeline rings (diagnosis only; bounded, cold-path mutex).
+  std::atomic<bool> timeline_enabled_{false};
+  mutable std::mutex timeline_mutex_;
+  std::vector<ParkEvent> park_events_;        // guarded by timeline_mutex_
+  std::vector<DepthSample> depth_samples_;    // guarded by timeline_mutex_
 
   std::atomic<std::uint64_t> wakeups_{0};
   std::atomic<std::uint64_t> steals_{0};
@@ -429,6 +561,22 @@ std::size_t parallel_capacity() { return Scheduler::instance().capacity(); }
 bool in_parallel_region() { return Scheduler::in_region(); }
 
 ParallelStats parallel_stats() { return Scheduler::instance().stats(); }
+
+std::vector<WorkerHealth> parallel_worker_health() {
+  return Scheduler::instance().worker_health();
+}
+
+void set_scheduler_timeline(bool enabled) {
+  Scheduler::instance().set_timeline(enabled);
+}
+
+std::vector<ParkEvent> scheduler_park_events() {
+  return Scheduler::instance().park_events();
+}
+
+std::vector<DepthSample> scheduler_depth_samples() {
+  return Scheduler::instance().depth_samples();
+}
 
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& fn,

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 namespace hpcos {
 
@@ -53,6 +54,47 @@ struct ParallelStats {
   std::uint64_t chunks_executed = 0; // parallel.chunks.count
 };
 ParallelStats parallel_stats();
+
+// Per-slot scheduler health since process start. Slot 0 is the external
+// caller slot (whichever thread holds the top-level session); slots
+// 1..n are the persistent workers. Counters are single-writer relaxed
+// atomics read with relaxed loads, so the vector is a near-consistent
+// snapshot, not a barrier. Deque depths are sampled once per
+// parallel_for at publish time (after the owner pushed its chunks), so
+// depth_sum / depth_samples is "average backlog seen at dispatch" and
+// max_depth the worst backlog any dispatch observed.
+struct WorkerHealth {
+  std::uint64_t chunks = 0;          // chunks this slot executed
+  std::uint64_t pushes = 0;          // chunks this slot published
+  std::uint64_t steals = 0;          // successful steals by this slot
+  std::uint64_t steal_attempts = 0;  // steal probes by this slot
+  std::uint64_t parks = 0;           // times this slot slept on the cv
+  std::uint64_t park_ns = 0;         // total host time spent parked
+  std::uint64_t depth_sum = 0;       // sum of sampled deque depths
+  std::uint64_t depth_samples = 0;   // number of depth samples taken
+  std::uint64_t max_depth = 0;       // max sampled deque depth
+};
+std::vector<WorkerHealth> parallel_worker_health();
+
+// Optional scheduler timeline capture (off by default). When enabled,
+// park intervals and publish-time deque-depth samples are appended to
+// bounded global rings (host steady-clock timestamps, ns). Recording
+// stops silently once a ring is full; enabling clears both rings.
+// Timeline data is host-scheduling-dependent and therefore for
+// diagnosis only — never fold it into deterministic outputs.
+struct ParkEvent {
+  std::size_t worker = 0;  // slot index (1..n; slot 0 never parks)
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+};
+struct DepthSample {
+  std::size_t worker = 0;  // slot index whose deque was probed
+  std::int64_t t_ns = 0;
+  std::size_t depth = 0;
+};
+void set_scheduler_timeline(bool enabled);
+std::vector<ParkEvent> scheduler_park_events();
+std::vector<DepthSample> scheduler_depth_samples();
 
 // Invoke fn(i) for every i in [0, count) across up to `threads` workers
 // (0 = default_parallelism(), 1 = inline serial execution; values above

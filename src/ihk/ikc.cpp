@@ -33,11 +33,14 @@ void IkcChannel::post(IkcMessage message) {
   obs::bump(posted_counter_);
   // Queue depth the new message observes (itself included).
   obs::observe(inflight_hist_, static_cast<double>(posted_ - delivered_));
-  sim_.schedule_after(latency_, [this, msg = std::move(message)] {
-    ++delivered_;
-    obs::bump(delivered_counter_);
-    receiver_(msg);
-  });
+  sim_.schedule_after(
+      latency_,
+      [this, msg = std::move(message)] {
+        ++delivered_;
+        obs::bump(delivered_counter_);
+        receiver_(msg);
+      },
+      "ikc.deliver");
 }
 
 }  // namespace hpcos::ihk

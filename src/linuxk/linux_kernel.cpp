@@ -75,8 +75,8 @@ void LinuxKernel::arm_tick(hw::CoreId core) {
   ts.full = cfs_.needs_tick(core, /*core_busy=*/true);
   const SimTime period =
       ts.full ? config_.tick_period : config_.residual_tick_period;
-  ts.event =
-      simulator().schedule_after(period, [this, core] { tick_fired(core); });
+  ts.event = simulator().schedule_after(
+      period, [this, core] { tick_fired(core); }, "linux.tick");
 }
 
 void LinuxKernel::ensure_full_tick(hw::CoreId core) {
@@ -85,8 +85,8 @@ void LinuxKernel::ensure_full_tick(hw::CoreId core) {
   // Cancel the pending residual tick and restart at full cadence.
   simulator().cancel(ts.event);
   ts.full = true;
-  ts.event = simulator().schedule_after(config_.tick_period,
-                                        [this, core] { tick_fired(core); });
+  ts.event = simulator().schedule_after(
+      config_.tick_period, [this, core] { tick_fired(core); }, "linux.tick");
 }
 
 void LinuxKernel::tick_fired(hw::CoreId core) {
@@ -112,8 +112,8 @@ void LinuxKernel::tick_fired(hw::CoreId core) {
   ts.full = cfs_.needs_tick(core, /*core_busy=*/true);
   const SimTime period =
       ts.full ? config_.tick_period : config_.residual_tick_period;
-  ts.event =
-      simulator().schedule_after(period, [this, core] { tick_fired(core); });
+  ts.event = simulator().schedule_after(
+      period, [this, core] { tick_fired(core); }, "linux.tick");
 }
 
 void LinuxKernel::on_core_activated(hw::CoreId core) { arm_tick(core); }
@@ -158,11 +158,13 @@ os::NodeKernel::SyscallDisposition LinuxKernel::handle_syscall(
       const os::ThreadId tid = thread.tid;
       const auto dt = SimTime::ns(static_cast<std::int64_t>(req.args.arg0));
       simulator().schedule_after(
-          dt + config_.syscalls.get(S::kNanosleep), [this, tid] {
+          dt + config_.syscalls.get(S::kNanosleep),
+          [this, tid] {
             os::SyscallResult r;
             r.ok = true;
             complete_blocked_syscall(tid, r);
-          });
+          },
+          "linux.sleep.wake");
       return d;
     }
 

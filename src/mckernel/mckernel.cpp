@@ -139,11 +139,14 @@ os::NodeKernel::SyscallDisposition McKernel::handle_syscall(
       d.kind = SyscallDisposition::Kind::kBlocked;
       const os::ThreadId tid = thread.tid;
       const auto dt = SimTime::ns(static_cast<std::int64_t>(req.args.arg0));
-      simulator().schedule_after(dt, [this, tid] {
-        os::SyscallResult r;
-        r.ok = true;
-        complete_blocked_syscall(tid, r);
-      });
+      simulator().schedule_after(
+          dt,
+          [this, tid] {
+            os::SyscallResult r;
+            r.ok = true;
+            complete_blocked_syscall(tid, r);
+          },
+          "lwk.sleep.wake");
       return d;
     }
     case S::kFutex:

@@ -83,7 +83,8 @@ void SyscallOffloader::offload(os::ThreadId lwk_tid, os::Pid lwk_pid,
   // Marshalling on the LWK side happens before the doorbell rings.
   const SimTime marshal = lwk_.config().offload_marshal_cost;
   lwk_.simulator().schedule_after(
-      marshal, [this, m = std::move(m)] { to_host_.post(m); });
+      marshal, [this, m = std::move(m)] { to_host_.post(m); },
+      "lwk.offload.marshal");
 }
 
 void SyscallOffloader::send_reply(ihk::IkcMessage message) {

@@ -92,10 +92,10 @@ void BackgroundActivity::arm_generator(const NoiseSourceSpec& spec,
   *chain = [this, s, r, fixed_core, chain] {
     fire(*s, *r, fixed_core);
     kernel_.simulator().schedule_after(r->exponential_time(s->mean_interval),
-                                       *chain);
+                                       *chain, "noise.daemon");
   };
   kernel_.simulator().schedule_after(r->exponential_time(s->mean_interval),
-                                     *chain);
+                                     *chain, "noise.daemon");
 }
 
 void BackgroundActivity::fire(const NoiseSourceSpec& spec,

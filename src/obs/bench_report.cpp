@@ -6,6 +6,8 @@
 #include <iostream>
 
 #include "common/parallel.h"
+#include "obs/prof/prof.h"
+#include "obs/prof_report.h"
 #include "obs/timeseries/timeseries.h"
 
 namespace hpcos::obs {
@@ -177,6 +179,8 @@ BenchOptions parse_bench_options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       opts.quick = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      opts.profile = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       if (i + 1 >= argc) {
         std::cerr << "--json requires a path argument\n";
@@ -187,10 +191,20 @@ BenchOptions parse_bench_options(int argc, char** argv) {
       opts.remaining.push_back(argv[i]);
     }
   }
+  // Arm the profiler here so every bench target honors --profile without
+  // per-target plumbing; the scopes themselves are already in the code.
+  if (opts.profile) prof::set_enabled(true);
   return opts;
 }
 
-void maybe_write_report(const BenchReport& report, const BenchOptions& opts) {
+void maybe_write_report(BenchReport& report, const BenchOptions& opts) {
+  if (opts.profile) {
+    const prof::Profile profile = prof::collect();
+    add_profile_metrics(report, profile);
+    add_memory_metrics(report);
+    std::cout << "\n=== host-side hotspots (--profile) ===\n";
+    print_profile(std::cout, profile);
+  }
   if (opts.json_path.empty()) return;
   report.write(opts.json_path);
   std::cout << "[bench-report] wrote " << report.metric_count()

@@ -87,10 +87,16 @@ std::string validate_bench_report(const JsonValue& doc);
 // Shared bench-target command line: every bench main() calls this first.
 //   --json <path>   emit a BenchReport to <path>
 //   --quick         shrink the run for the bench_smoke ctest job
+//   --profile       enable the host-side self-profiler (obs/prof) for
+//                   the run; maybe_write_report then appends the
+//                   collected hotspot metrics (prof.*.count gated,
+//                   host.prof.* / host.mem.* ignore-listed) to the
+//                   report and prints the ranked table to stdout
 // Unknown arguments are left for the target to interpret (the google-
 // benchmark ablations forward the remainder to benchmark::Initialize).
 struct BenchOptions {
   bool quick = false;
+  bool profile = false;
   std::string json_path;
   // argv with the recognized flags removed (argv[0] preserved).
   std::vector<char*> remaining;
@@ -98,7 +104,9 @@ struct BenchOptions {
 BenchOptions parse_bench_options(int argc, char** argv);
 
 // Emit the report when --json was given; prints a one-line confirmation
-// to stdout. No-op when json_path is empty.
-void maybe_write_report(const BenchReport& report, const BenchOptions& opts);
+// to stdout. No-op when json_path is empty (except that --profile still
+// prints the hotspot table). Non-const: the profiler section is appended
+// here so every bench target gets it without per-target plumbing.
+void maybe_write_report(BenchReport& report, const BenchOptions& opts);
 
 }  // namespace hpcos::obs

@@ -1,0 +1,66 @@
+// Host memory observability: per-subsystem allocation counters and
+// process RSS sampling.
+//
+// The ROADMAP's full-Fugaku scale item plans an arena/SoA conversion of
+// the per-node state; this module establishes the measurement baseline it
+// will be judged against. Two instruments:
+//
+//   * MemoryCounter — a named (bytes, events) pair bumped at the
+//     subsystem's allocation sites (trace rings, time-series buckets,
+//     campaign shard accumulators, scheduler deque buffers). Atomic
+//     because host worker threads allocate concurrently; relaxed, since
+//     the counters are statistics, not synchronization.
+//   * sample_host_memory() — current VmSize/VmRSS from /proc/self/statm
+//     and peak RSS (VmHWM) from /proc/self/status. Returns valid=false
+//     where procfs is unavailable.
+//
+// Names follow the repo rule <subsystem>.<object>[.<detail>] with the
+// unit as the last segment (always _bytes here).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcos::obs::prof {
+
+class MemoryCounter {
+ public:
+  void add(std::uint64_t n) {
+    bytes_.fetch_add(n, std::memory_order_relaxed);
+    events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t events() const {
+    return events_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> events_{0};
+};
+
+// Find-or-create; the returned pointer is stable for process lifetime
+// (Registry discipline: look up once at wiring time, bump forever).
+MemoryCounter* memory_counter(const std::string& name);
+
+struct MemoryCounterView {
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint64_t events = 0;
+};
+// Name-sorted snapshot of every registered counter.
+std::vector<MemoryCounterView> memory_counters();
+
+struct HostMemory {
+  std::uint64_t vm_bytes = 0;        // VmSize
+  std::uint64_t rss_bytes = 0;       // VmRSS
+  std::uint64_t peak_rss_bytes = 0;  // VmHWM (high-water mark)
+  bool valid = false;
+};
+HostMemory sample_host_memory();
+
+}  // namespace hpcos::obs::prof

@@ -1,0 +1,136 @@
+// Host-side self-profiler: where does the *simulator's own* time go?
+//
+// Every observability layer so far (Registry, spans, attribution ledger,
+// TimeSeries) measures simulated time. This module points the same
+// discipline at the host: the ROADMAP's full-Fugaku scale rework ("profile
+// and rework the DES hot loop") needs the simulator's host-side cost
+// decomposed into a measurable signal before any calendar-queue or
+// arena/SoA change can be evidence-driven.
+//
+// Design (mirrors the Registry's hot-path cost rules):
+//   * PROF_SCOPE("des.event.fire") opens a steady_clock-timed scope. A
+//     site compiles to one branch when profiling is disabled (the armed
+//     check), and two clock reads plus one ring-buffer append when it is
+//     enabled. No locks on the hot path.
+//   * Each thread writes completed scopes into its own pre-sized ring
+//     buffer (registered once per thread under a mutex, written
+//     single-writer afterwards). The only cross-thread handshake is a
+//     release-store of the buffer's size, acquire-loaded by collect() —
+//     ThreadSanitizer-clean by construction.
+//   * collect() merges every thread's buffer into one Profile: a ranked
+//     self/total-time hotspot table keyed by scope *name* (scope fire
+//     counts are a pure function of the simulated work, so the merged
+//     counts are bit-identical across host thread counts — the
+//     determinism contract the tests pin) and a folded-stack view keyed
+//     by the host call path (input format of flamegraph.pl/speedscope,
+//     validated by sim::validate_folded_stack).
+//   * Buffers never wrap: a full buffer drops new scopes and counts the
+//     drops, because silently overwriting parents would corrupt the
+//     nesting reconstruction. Size the buffer for the measurement window
+//     (set_thread_buffer_capacity) and reset() between windows.
+//
+// Scope naming follows the repo-wide counter rule:
+//   <subsystem>.<object>[.<detail>]  e.g. des.fire.linux.tick, fwq.shard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hpcos::obs::prof {
+
+// Stable id for a scope name. Interning allocates (mutex + map) and is
+// meant to run once per call site (PROF_SCOPE caches it in a function-
+// local static), never per fire.
+using ScopeId = std::uint32_t;
+ScopeId intern(const std::string& name);
+std::string scope_name(ScopeId id);
+
+// Global enable switch (relaxed atomic; one load per scope entry).
+bool enabled();
+void set_enabled(bool on);
+
+// Ring capacity, in scope events, for per-thread buffers created after
+// this call (existing buffers keep their size). Default 1<<16 (~2 MiB per
+// participating thread).
+void set_thread_buffer_capacity(std::size_t events);
+
+// Clear every thread's buffer and drop counters. Callers must quiesce
+// first: no PROF_SCOPE may be open on any thread (between parallel_for
+// regions the scheduler's workers are parked, which is the intended
+// reset point).
+void reset();
+
+// Nanoseconds on the process-local steady clock (epoch = first call).
+// The profiler's own timestamps, exposed so other host-side telemetry
+// (scheduler park timelines, DES handler attribution) shares one clock.
+std::int64_t now_ns();
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(ScopeId id);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Whether this instance is recording (profiler was enabled at entry).
+  bool armed() const { return armed_; }
+  // Entry timestamp (now_ns clock); 0 when not armed.
+  std::int64_t start_ns() const { return start_; }
+
+ private:
+  ScopeId id_ = 0;
+  std::int64_t start_ = 0;
+  bool armed_ = false;
+};
+
+#define HPCOS_PROF_CONCAT2(a, b) a##b
+#define HPCOS_PROF_CONCAT(a, b) HPCOS_PROF_CONCAT2(a, b)
+// Scoped hotspot probe. The id interns once (function-local static); the
+// timer is one branch when the profiler is disabled.
+#define PROF_SCOPE(name)                                           \
+  static const ::hpcos::obs::prof::ScopeId HPCOS_PROF_CONCAT(      \
+      hpcos_prof_id_, __LINE__) = ::hpcos::obs::prof::intern(name); \
+  ::hpcos::obs::prof::ScopedTimer HPCOS_PROF_CONCAT(               \
+      hpcos_prof_scope_, __LINE__)(                                \
+      HPCOS_PROF_CONCAT(hpcos_prof_id_, __LINE__))
+
+// Merged per-name statistics. total_ns sums instance durations (a
+// recursive scope contributes once per instance, so self-recursion
+// inflates total but never self); self_ns subtracts time covered by
+// nested scopes, so self times sum correctly at every depth.
+struct ScopeStat {
+  std::string name;
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t self_ns = 0;
+};
+
+struct Profile {
+  // Ranked by self_ns descending, name ascending on ties. Counts are
+  // bit-identical across host thread counts; times are host-dependent.
+  std::vector<ScopeStat> scopes;
+  // Folded-stack aggregation: host call path ("a;b;c") -> summed self
+  // ns, path-sorted (deterministic, diffable). Zero-self paths omitted.
+  std::vector<std::pair<std::string, std::int64_t>> folded;
+  std::uint64_t threads = 0;  // thread buffers merged
+  std::uint64_t events = 0;   // scope events merged
+  std::uint64_t dropped = 0;  // scope events lost to full buffers
+  // Sum of root-scope durations. By construction sum_self_ns() equals
+  // this exactly, so checking it against a wall-clock measurement of the
+  // profiled region validates the whole accounting chain.
+  std::int64_t root_total_ns = 0;
+
+  const ScopeStat* find(const std::string& name) const;
+  std::int64_t sum_self_ns() const;
+  // "<path> <self-ns>\n" lines, the flamegraph.pl/speedscope input
+  // format (sim::validate_folded_stack accepts it).
+  std::string folded_text() const;
+};
+
+// Merge every registered thread buffer (snapshot; buffers keep their
+// contents until reset()).
+Profile collect();
+
+}  // namespace hpcos::obs::prof

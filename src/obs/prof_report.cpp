@@ -1,0 +1,86 @@
+#include "obs/prof_report.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/table.h"
+#include "obs/prof/mem.h"
+
+namespace hpcos::obs {
+namespace {
+
+double to_us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+}  // namespace
+
+void add_profile_metrics(BenchReport& report, const prof::Profile& profile) {
+  for (const prof::ScopeStat& s : profile.scopes) {
+    report.add_metric("prof." + s.name + ".count", "count",
+                      static_cast<double>(s.count));
+    report.add_metric("host.prof." + s.name + ".self_us", "us",
+                      to_us(s.self_ns));
+    report.add_metric("host.prof." + s.name + ".total_us", "us",
+                      to_us(s.total_ns));
+  }
+  report.add_metric("host.prof.events", "count",
+                    static_cast<double>(profile.events));
+  report.add_metric("host.prof.threads", "count",
+                    static_cast<double>(profile.threads));
+  report.add_metric("host.prof.dropped", "count",
+                    static_cast<double>(profile.dropped));
+  report.add_metric("host.prof.root_total_us", "us",
+                    to_us(profile.root_total_ns));
+}
+
+void fold_profile_registry(Registry& registry, const prof::Profile& profile) {
+  for (const prof::ScopeStat& s : profile.scopes) {
+    registry.counter("prof." + s.name + ".count")->add(s.count);
+  }
+  registry.counter("prof.events")->add(profile.events);
+  registry.counter("prof.dropped")->add(profile.dropped);
+}
+
+void add_memory_metrics(BenchReport& report) {
+  for (const prof::MemoryCounterView& c : prof::memory_counters()) {
+    report.add_metric("host.mem." + c.name + ".bytes", "bytes",
+                      static_cast<double>(c.bytes));
+    report.add_metric("host.mem." + c.name + ".events", "count",
+                      static_cast<double>(c.events));
+  }
+  const prof::HostMemory mem = prof::sample_host_memory();
+  if (mem.valid) {
+    report.add_metric("host.mem.rss_bytes", "bytes",
+                      static_cast<double>(mem.rss_bytes));
+    report.add_metric("host.mem.peak_rss_bytes", "bytes",
+                      static_cast<double>(mem.peak_rss_bytes));
+    report.add_metric("host.mem.vm_bytes", "bytes",
+                      static_cast<double>(mem.vm_bytes));
+  }
+}
+
+void print_profile(std::ostream& out, const prof::Profile& profile,
+                   std::size_t top) {
+  TextTable table({"scope", "count", "self ms", "total ms", "self %"});
+  for (std::size_t col = 1; col < 5; ++col) table.set_align(col, Align::kRight);
+  const double root =
+      profile.root_total_ns > 0 ? static_cast<double>(profile.root_total_ns)
+                                : 1.0;
+  const std::size_t n = std::min(top, profile.scopes.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const prof::ScopeStat& s = profile.scopes[i];
+    table.add_row({s.name,
+                   TextTable::fmt_int(static_cast<long long>(s.count)),
+                   TextTable::fmt(static_cast<double>(s.self_ns) / 1e6, 3),
+                   TextTable::fmt(static_cast<double>(s.total_ns) / 1e6, 3),
+                   TextTable::fmt_percent(
+                       static_cast<double>(s.self_ns) / root, 1)});
+  }
+  table.print(out);
+  out << "scopes: " << profile.scopes.size() << "  events: " << profile.events
+      << "  threads: " << profile.threads << "  dropped: " << profile.dropped
+      << "  root total: "
+      << TextTable::fmt(static_cast<double>(profile.root_total_ns) / 1e6, 3)
+      << " ms\n";
+}
+
+}  // namespace hpcos::obs

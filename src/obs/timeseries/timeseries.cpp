@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/prof/mem.h"
 #include "sim/simulator.h"
 
 namespace hpcos::obs::ts {
@@ -21,6 +22,8 @@ TimeSeries::TimeSeries(SimTime resolution, std::size_t capacity)
                   "series resolution must be positive");
   HPCOS_CHECK_MSG(capacity >= 2, "series capacity must be at least 2");
   buckets_.resize(capacity_);
+  prof::memory_counter("timeseries.buckets")
+      ->add(capacity_ * sizeof(SeriesBucket));
 }
 
 void TimeSeries::record_n(SimTime t, double value, std::uint64_t weight) {
@@ -204,7 +207,8 @@ void RegistrySampler::poll(SimTime now) {
 void RegistrySampler::schedule(sim::Simulator& sim, SimTime until) {
   poll(sim.now());
   if (sim.now() + period_ > until) return;
-  sim.schedule_after(period_, [this, &sim, until] { schedule(sim, until); });
+  sim.schedule_after(
+      period_, [this, &sim, until] { schedule(sim, until); }, "obs.sampler");
 }
 
 }  // namespace hpcos::obs::ts

@@ -124,12 +124,15 @@ ThreadId NodeKernel::spawn(std::unique_ptr<ThreadBody> body,
   // Initial dispatch goes through the event queue so spawn() returns
   // before the body's first step runs (threads never execute inside their
   // creator's stack frame).
-  sim_.schedule_after(SimTime::zero(), [this, tid] {
-    auto it = threads_.find(tid);
-    if (it == threads_.end()) return;
-    Thread& t = *it->second;
-    if (t.state == ThreadState::kReady) enqueue_and_maybe_dispatch(t);
-  });
+  sim_.schedule_after(
+      SimTime::zero(),
+      [this, tid] {
+        auto it = threads_.find(tid);
+        if (it == threads_.end()) return;
+        Thread& t = *it->second;
+        if (t.state == ThreadState::kReady) enqueue_and_maybe_dispatch(t);
+      },
+      "os.thread.start");
   return tid;
 }
 
@@ -180,8 +183,8 @@ void NodeKernel::interrupt_core(hw::CoreId core, SimTime duration,
     cs.irq_start = sim_.now();
     cs.irq_end = sim_.now() + duration;
   }
-  cs.irq_event =
-      sim_.schedule_at(cs.irq_end, [this, core] { on_irq_end(core); });
+  cs.irq_event = sim_.schedule_at(
+      cs.irq_end, [this, core] { on_irq_end(core); }, "os.irq.end");
 }
 
 void NodeKernel::stall_core(hw::CoreId core, SimTime duration,
@@ -196,8 +199,8 @@ void NodeKernel::stall_core(hw::CoreId core, SimTime duration,
     trace_event(core, category, duration, label);
     cs.irq_end += duration;
     sim_.cancel(cs.irq_event);
-    cs.irq_event =
-        sim_.schedule_at(cs.irq_end, [this, core] { on_irq_end(core); });
+    cs.irq_event = sim_.schedule_at(
+        cs.irq_end, [this, core] { on_irq_end(core); }, "os.irq.end");
     return;
   }
   if (cs.running == kInvalidThread) return;  // nothing to slow down
@@ -436,7 +439,8 @@ void NodeKernel::begin_action(hw::CoreId core, Thread& thread) {
       const SimTime dt = thread.action.duration;
       thread.state = ThreadState::kBlocked;
       thread.action = PendingAction{};
-      sim_.schedule_after(dt, [this, tid] { wake(tid); });
+      sim_.schedule_after(
+          dt, [this, tid] { wake(tid); }, "os.sleep.wake");
       release_core(core);
       maybe_dispatch(core);
       return;
@@ -465,7 +469,8 @@ void NodeKernel::start_burst(hw::CoreId core, Thread& thread) {
   cs.burst_start = sim_.now();
   const ThreadId tid = thread.tid;
   cs.burst_event = sim_.schedule_after(
-      thread.remaining, [this, core, tid] { on_burst_done(core, tid); });
+      thread.remaining, [this, core, tid] { on_burst_done(core, tid); },
+      "os.burst.done");
 }
 
 void NodeKernel::on_burst_done(hw::CoreId core, ThreadId tid) {

@@ -1,36 +1,68 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
 namespace hpcos::sim {
 
-EventId Simulator::schedule_at(SimTime t, EventFn fn) {
+namespace {
+constexpr const char* kDefaultTag = "event";
+}  // namespace
+
+EventId Simulator::schedule_at(SimTime t, EventFn fn, const char* tag) {
   HPCOS_CHECK_MSG(t >= now_, "event scheduled in the past");
   HPCOS_CHECK(fn != nullptr);
   const std::uint64_t seq = next_seq_++;
   heap_.push(HeapEntry{t, seq});
-  pending_.emplace(seq, std::move(fn));
+  pending_.emplace(seq, Pending{std::move(fn), tag});
+  ++telemetry_.pushes;
+  if (pending_.size() > telemetry_.max_depth) {
+    telemetry_.max_depth = pending_.size();
+  }
+  if (depth_probe_) depth_probe_(now_, pending_.size());
   return EventId{seq};
 }
 
-EventId Simulator::schedule_after(SimTime dt, EventFn fn) {
+EventId Simulator::schedule_after(SimTime dt, EventFn fn, const char* tag) {
   HPCOS_CHECK_MSG(!dt.is_negative(), "negative delay");
-  return schedule_at(now_ + dt, std::move(fn));
+  return schedule_at(now_ + dt, std::move(fn), tag);
 }
 
 bool Simulator::cancel(EventId id) {
   if (!id.valid()) return false;
-  return pending_.erase(id.seq) > 0;
+  if (pending_.erase(id.seq) == 0) return false;
+  ++telemetry_.cancels;
+  return true;
 }
 
-bool Simulator::pop_next(HeapEntry& out, EventFn& fn) {
+Simulator::TagEntry& Simulator::tag_entry(const char* tag) {
+  for (TagEntry& e : tags_) {
+    if (e.tag == tag) return e;
+  }
+  // Same literal from another translation unit: match by content so the
+  // attribution table stays one row per tag.
+  for (TagEntry& e : tags_) {
+    if (std::strcmp(e.tag, tag) == 0) return e;
+  }
+  TagEntry entry;
+  entry.tag = tag;
+  entry.scope = obs::prof::intern(std::string("des.fire.") + tag);
+  tags_.push_back(entry);
+  return tags_.back();
+}
+
+bool Simulator::pop_next(HeapEntry& out, Pending& ev) {
   while (!heap_.empty()) {
     const HeapEntry top = heap_.top();
     heap_.pop();
     auto it = pending_.find(top.seq);
-    if (it == pending_.end()) continue;  // cancelled
+    if (it == pending_.end()) {
+      ++telemetry_.skipped;  // cancelled; its ghost entry dies here
+      continue;
+    }
     out = top;
-    fn = std::move(it->second);
+    ev = std::move(it->second);
     pending_.erase(it);
     return true;
   }
@@ -39,11 +71,24 @@ bool Simulator::pop_next(HeapEntry& out, EventFn& fn) {
 
 bool Simulator::step() {
   HeapEntry e;
-  EventFn fn;
-  if (!pop_next(e, fn)) return false;
+  Pending ev;
+  if (!pop_next(e, ev)) return false;
   now_ = e.time;
   ++executed_;
-  fn();
+  ++telemetry_.pops;
+  if (obs::prof::enabled()) {
+    // Decompose the hot loop by handler kind: a profiler scope (so the
+    // fire shows up in the hotspot table / flamegraph) plus the per-tag
+    // host-time accumulator handler_stats() reports.
+    TagEntry& tag = tag_entry(ev.tag != nullptr ? ev.tag : kDefaultTag);
+    const obs::prof::ScopedTimer timer(tag.scope);
+    ev.fn();
+    ++tag.fired;
+    tag.host_ns += obs::prof::now_ns() - timer.start_ns();
+  } else {
+    ev.fn();
+  }
+  if (depth_probe_) depth_probe_(now_, pending_.size());
   return true;
 }
 
@@ -55,6 +100,7 @@ std::size_t Simulator::run_until(SimTime t_end) {
     HeapEntry top = heap_.top();
     if (pending_.find(top.seq) == pending_.end()) {
       heap_.pop();
+      ++telemetry_.skipped;
       continue;
     }
     if (top.time > t_end) break;
@@ -69,6 +115,19 @@ std::size_t Simulator::run_all(std::size_t max_events) {
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
   return n;
+}
+
+std::vector<HandlerStat> Simulator::handler_stats() const {
+  std::vector<HandlerStat> out;
+  out.reserve(tags_.size());
+  for (const TagEntry& e : tags_) {
+    out.push_back(HandlerStat{e.tag, e.fired, e.host_ns});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HandlerStat& a, const HandlerStat& b) {
+              return a.tag < b.tag;
+            });
+  return out;
 }
 
 }  // namespace hpcos::sim

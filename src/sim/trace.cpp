@@ -1,5 +1,7 @@
 #include "sim/trace.h"
 
+#include "obs/prof/mem.h"
+
 namespace hpcos::sim {
 
 std::string to_string(TraceCategory c) {
@@ -38,6 +40,10 @@ std::string to_string(TraceCategory c) {
 
 TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
   ring_.resize(capacity);
+  if (capacity > 0) {
+    obs::prof::memory_counter("trace.ring")
+        ->add(capacity * sizeof(TraceRecord));
+  }
 }
 
 void TraceBuffer::record(TraceRecord rec) {

@@ -12,6 +12,9 @@
 //   cmake -B build-tsan -DHPCOS_SANITIZE=thread && ctest -L parallel
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+
 #include "cluster/bsp.h"
 #include "cluster/fwq_campaign.h"
 #include "cluster/osenv.h"
@@ -21,6 +24,7 @@
 #include "common/sketch.h"
 #include "common/stats.h"
 #include "noise/profiles.h"
+#include "obs/prof/prof.h"
 
 namespace hpcos::cluster {
 namespace {
@@ -309,6 +313,46 @@ TEST(ParallelDeterminism, NestedRelativePerformanceIdenticalAcrossThreads) {
           << outer << "x" << inner << " row " << p;
     }
   }
+}
+
+TEST(ParallelDeterminism, ProfilerCountsIdenticalUnderNestedParallelFor) {
+  // The profiler's per-thread ring buffers written from inside a nested
+  // parallel_for — concurrent single-writer appends plus the release/
+  // acquire size handshake collect() reads. This is the surface the
+  // ThreadSanitizer job must watch (ctest -L parallel under
+  // -DHPCOS_SANITIZE=thread), and the count half of the determinism
+  // contract: merged scope counts are bit-identical for any host thread
+  // count; times are host-dependent and not compared.
+  auto run = [](std::size_t threads) {
+    obs::prof::reset();
+    obs::prof::set_enabled(true);
+    parallel_for(
+        12,
+        [&](std::size_t) {
+          PROF_SCOPE("det.outer");
+          parallel_for(
+              8,
+              [&](std::size_t j) {
+                PROF_SCOPE("det.inner");
+                volatile double sink = 0.0;
+                for (std::size_t k = 0; k < 50 + j; ++k) sink += double(k);
+              },
+              threads);
+        },
+        threads);
+    obs::prof::set_enabled(false);
+    std::map<std::string, std::uint64_t> counts;
+    for (const auto& s : obs::prof::collect().scopes) {
+      counts[s.name] = s.count;
+    }
+    return counts;
+  };
+  const auto serial = run(1);
+  ASSERT_EQ(serial.at("det.outer"), 12u);
+  ASSERT_EQ(serial.at("det.inner"), 96u);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+  obs::prof::reset();
 }
 
 TEST(ParallelDeterminism, HistogramShardMergeEqualsSinglePass) {

@@ -1,0 +1,344 @@
+// Host-side self-profiler (obs/prof) and its reporting glue.
+//
+// What must hold (DESIGN "Host-side self-profiling"):
+//   * scope accounting closes: per-name self times subtract nested time,
+//     sum(self) == sum of root durations, exactly;
+//   * merged scope *counts* are a pure function of the simulated work —
+//     bit-identical across host thread counts (times are host-dependent
+//     and never asserted);
+//   * the folded-stack view is valid flamegraph input and round-trips
+//     through sim::parse_folded_stack;
+//   * a disabled profiler records nothing;
+//   * the DES queue telemetry / handler attribution, the scheduler
+//     health counters, the memory counters, and the OpenMetrics round
+//     trip of the profiler's deterministic face all behave.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/fwq_campaign.h"
+#include "common/parallel.h"
+#include "common/sim_time.h"
+#include "noise/profiles.h"
+#include "obs/prof/mem.h"
+#include "obs/prof/prof.h"
+#include "obs/prof_report.h"
+#include "obs/registry.h"
+#include "obs/timeseries/openmetrics.h"
+#include "sim/folded_stack.h"
+#include "sim/simulator.h"
+#include "tools/cli_util.h"
+
+namespace hpcos {
+namespace {
+
+namespace prof = obs::prof;
+
+// Every test starts and ends with a quiesced, disabled, empty profiler so
+// tests compose in any order within the shared test binary.
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prof::set_enabled(false);
+    prof::reset();
+  }
+  void TearDown() override {
+    prof::set_enabled(false);
+    prof::reset();
+  }
+};
+
+std::map<std::string, std::uint64_t> scope_counts(const prof::Profile& p) {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& s : p.scopes) counts[s.name] = s.count;
+  return counts;
+}
+
+TEST_F(ProfTest, ScopeAccountingCloses) {
+  prof::set_enabled(true);
+  {
+    PROF_SCOPE("t.root");
+    { PROF_SCOPE("t.child"); }
+    { PROF_SCOPE("t.child"); }
+    {
+      PROF_SCOPE("t.child");
+      PROF_SCOPE("t.leaf");
+    }
+  }
+  prof::set_enabled(false);
+  const prof::Profile p = prof::collect();
+
+  EXPECT_EQ(p.events, 5u);
+  EXPECT_EQ(p.dropped, 0u);
+  ASSERT_EQ(p.scopes.size(), 3u);
+
+  const prof::ScopeStat* root = p.find("t.root");
+  const prof::ScopeStat* child = p.find("t.child");
+  const prof::ScopeStat* leaf = p.find("t.leaf");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(root->count, 1u);
+  EXPECT_EQ(child->count, 3u);
+  EXPECT_EQ(leaf->count, 1u);
+
+  // Self subtracts nested time at every level; everything nests under the
+  // one root instance, so the books must balance exactly.
+  EXPECT_EQ(root->self_ns, root->total_ns - child->total_ns);
+  EXPECT_EQ(child->self_ns, child->total_ns - leaf->total_ns);
+  EXPECT_EQ(leaf->self_ns, leaf->total_ns);
+  EXPECT_EQ(p.root_total_ns, root->total_ns);
+  EXPECT_EQ(p.sum_self_ns(), p.root_total_ns);
+}
+
+TEST_F(ProfTest, DisabledProfilerRecordsNothing) {
+  ASSERT_FALSE(prof::enabled());
+  {
+    PROF_SCOPE("t.invisible");
+    { PROF_SCOPE("t.invisible.child"); }
+  }
+  const prof::Profile p = prof::collect();
+  EXPECT_EQ(p.events, 0u);
+  EXPECT_TRUE(p.scopes.empty());
+  EXPECT_TRUE(p.folded.empty());
+  EXPECT_EQ(p.root_total_ns, 0);
+}
+
+TEST_F(ProfTest, FoldedStackValidatesAndRoundTrips) {
+  prof::set_enabled(true);
+  {
+    PROF_SCOPE("t.a");
+    { PROF_SCOPE("t.b"); }
+  }
+  { PROF_SCOPE("t.a"); }
+  prof::set_enabled(false);
+  const prof::Profile p = prof::collect();
+
+  const std::string folded = p.folded_text();
+  EXPECT_EQ(sim::validate_folded_stack(folded), "");
+
+  const auto parsed = sim::parse_folded_stack(folded);
+  ASSERT_EQ(parsed.size(), p.folded.size());
+  std::int64_t parsed_total = 0;
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].first, p.folded[i].first);
+    EXPECT_EQ(parsed[i].second, p.folded[i].second);
+    parsed_total += parsed[i].second;
+  }
+  // Folded values are self times, so they sum to the same total the
+  // ranked table accounts for (zero-self paths are omitted, not lost).
+  EXPECT_EQ(parsed_total, p.sum_self_ns());
+
+  bool found_nested = false;
+  for (const auto& [path, value] : parsed) {
+    if (path == "t.a;t.b") {
+      found_nested = true;
+      EXPECT_GE(value, 0);
+    }
+  }
+  EXPECT_TRUE(found_nested);
+}
+
+TEST_F(ProfTest, CampaignScopeCountsIdenticalAcrossThreadCounts) {
+  // The determinism contract, pointed at the profiler: the campaign's
+  // scope fire counts (one fwq.shard per shard, one fwq.merge) must be
+  // bit-identical whatever the host thread count. Times are not compared.
+  const auto profile = noise::fugaku_linux_profile();
+  auto run = [&](std::size_t threads) {
+    prof::reset();
+    prof::set_enabled(true);
+    cluster::FwqCampaignConfig cfg;
+    cfg.nodes = 48;
+    cfg.app_cores = 8;
+    cfg.duration_per_core = SimTime::sec(60);
+    cfg.nodes_per_shard = 8;
+    cfg.threads = threads;
+    cfg.seed = Seed{0xBEEF};
+    cluster::run_fwq_campaign(profile, cfg);
+    prof::set_enabled(false);
+    return scope_counts(prof::collect());
+  };
+  const auto serial = run(1);
+  ASSERT_NE(serial.find("fwq.shard"), serial.end());
+  EXPECT_EQ(serial.at("fwq.shard"), 6u);  // ceil(48 / 8)
+  EXPECT_EQ(serial.at("fwq.merge"), 1u);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST_F(ProfTest, SimulatorQueueTelemetryAndHandlerAttribution) {
+  prof::set_enabled(true);
+  sim::Simulator s;
+
+  std::size_t probe_max_depth = 0;
+  std::size_t probe_calls = 0;
+  s.set_depth_probe([&](SimTime, std::size_t depth) {
+    ++probe_calls;
+    probe_max_depth = std::max(probe_max_depth, depth);
+  });
+
+  s.schedule_after(SimTime::us(1), [] {}, "test.a");
+  s.schedule_after(SimTime::us(2), [] {}, "test.a");
+  const auto doomed = s.schedule_after(SimTime::us(3), [] {}, "test.b");
+  EXPECT_TRUE(s.cancel(doomed));
+  s.run_until(SimTime::us(10));
+  prof::set_enabled(false);
+
+  const sim::QueueTelemetry& qt = s.queue_telemetry();
+  EXPECT_EQ(qt.pushes, 3u);
+  EXPECT_EQ(qt.pops, 2u);
+  EXPECT_EQ(qt.cancels, 1u);
+  EXPECT_EQ(qt.skipped, 1u);  // the cancelled heap entry, discarded on pop
+  EXPECT_EQ(qt.max_depth, 3u);
+  EXPECT_GE(probe_calls, 3u);  // after each push and each executed event
+  EXPECT_EQ(probe_max_depth, 3u);
+
+  const auto handlers = s.handler_stats();
+  ASSERT_EQ(handlers.size(), 1u);  // test.b never fired
+  EXPECT_EQ(handlers[0].tag, "test.a");
+  EXPECT_EQ(handlers[0].fired, 2u);
+  EXPECT_GE(handlers[0].host_ns, 0);
+
+  // The same firings appear as des.fire.<tag> profiler scopes.
+  const auto counts = scope_counts(prof::collect());
+  ASSERT_NE(counts.find("des.fire.test.a"), counts.end());
+  EXPECT_EQ(counts.at("des.fire.test.a"), 2u);
+  EXPECT_EQ(counts.count("des.fire.test.b"), 0u);
+}
+
+TEST_F(ProfTest, SchedulerHealthCountersAndTimeline) {
+  auto sum_pushes = [] {
+    std::uint64_t n = 0;
+    for (const auto& h : parallel_worker_health()) n += h.pushes;
+    return n;
+  };
+  auto sum_chunks = [] {
+    std::uint64_t n = 0;
+    for (const auto& h : parallel_worker_health()) n += h.chunks;
+    return n;
+  };
+
+  const std::uint64_t pushes_before = sum_pushes();
+  const std::uint64_t chunks_before = sum_chunks();
+  set_scheduler_timeline(true);
+  std::atomic<std::uint64_t> acc{0};
+  parallel_for(64, [&](std::size_t i) {
+    acc.fetch_add(i, std::memory_order_relaxed);
+  }, 4);
+  const auto depths = scheduler_depth_samples();
+  set_scheduler_timeline(false);
+
+  EXPECT_EQ(acc.load(), 64u * 63u / 2u);
+  // Health counters are cumulative across the process; the run must have
+  // pushed at least one chunk and executed them all.
+  EXPECT_GT(sum_pushes(), pushes_before);
+  EXPECT_GE(sum_chunks() - chunks_before, sum_pushes() - pushes_before);
+  // One depth-sample batch per parallel_for (one sample per slot).
+  EXPECT_GE(depths.size(), 1u);
+  // Disabling clears the rings.
+  EXPECT_TRUE(scheduler_depth_samples().empty());
+  EXPECT_TRUE(scheduler_park_events().empty());
+}
+
+TEST_F(ProfTest, MemoryCountersAndHostSample) {
+  prof::MemoryCounter* c = prof::memory_counter("test.prof.mem");
+  ASSERT_NE(c, nullptr);
+  // Find-or-create returns the same stable pointer.
+  EXPECT_EQ(prof::memory_counter("test.prof.mem"), c);
+  const std::uint64_t bytes_before = c->bytes();
+  const std::uint64_t events_before = c->events();
+  c->add(123);
+  c->add(77);
+  EXPECT_EQ(c->bytes() - bytes_before, 200u);
+  EXPECT_EQ(c->events() - events_before, 2u);
+
+  bool found = false;
+  for (const auto& view : prof::memory_counters()) {
+    if (view.name == "test.prof.mem") {
+      found = true;
+      EXPECT_EQ(view.bytes, c->bytes());
+      EXPECT_EQ(view.events, c->events());
+    }
+  }
+  EXPECT_TRUE(found);
+
+  const prof::HostMemory mem = prof::sample_host_memory();
+  ASSERT_TRUE(mem.valid);  // procfs is always there on the CI hosts
+  EXPECT_GT(mem.rss_bytes, 0u);
+  EXPECT_GE(mem.peak_rss_bytes, mem.rss_bytes);
+  EXPECT_GE(mem.vm_bytes, mem.rss_bytes);
+}
+
+TEST_F(ProfTest, ProfileCountsRoundTripThroughOpenMetrics) {
+  prof::set_enabled(true);
+  {
+    PROF_SCOPE("t.om.root");
+    { PROF_SCOPE("t.om.child"); }
+    { PROF_SCOPE("t.om.child"); }
+  }
+  prof::set_enabled(false);
+  const prof::Profile p = prof::collect();
+
+  obs::Registry registry;
+  obs::fold_profile_registry(registry, p);
+  ASSERT_NE(registry.find_counter("prof.t.om.child.count"), nullptr);
+  EXPECT_EQ(registry.find_counter("prof.t.om.child.count")->value(), 2u);
+  EXPECT_EQ(registry.find_counter("prof.events")->value(), p.events);
+
+  // Exposition -> strict parse -> exact counter recovery (counts are
+  // integers, so the round trip is lossless).
+  const std::string text = obs::ts::openmetrics_text(registry);
+  const auto samples = obs::ts::parse_openmetrics(text);
+  std::map<std::string, double> parsed;
+  for (const auto& s : samples) {
+    if (s.metric == "hpcos_counter_total") parsed[s.label("name")] = s.value;
+  }
+  const obs::Snapshot snap = registry.snapshot();
+  ASSERT_FALSE(snap.counters.empty());
+  for (const auto& entry : snap.counters) {
+    ASSERT_NE(parsed.find(entry.name), parsed.end()) << entry.name;
+    EXPECT_EQ(parsed.at(entry.name), static_cast<double>(entry.value))
+        << entry.name;
+  }
+}
+
+TEST(CliArgs, ParsesFlagsAndValues) {
+  char a0[] = "tool";
+  char a1[] = "--folded";
+  char a2[] = "out.folded";
+  char a3[] = "--verbose";
+  std::vector<char*> remaining{a0, a1, a2, a3};
+
+  std::string folded;
+  bool verbose = false;
+  tools::CliArgs cli("usage: tool [--folded <path>] [--verbose]");
+  cli.add_value("--folded", &folded).add_flag("--verbose", &verbose);
+  EXPECT_TRUE(cli.parse(remaining));
+  EXPECT_EQ(folded, "out.folded");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(CliArgs, RejectsUnknownArgument) {
+  char a0[] = "tool";
+  char a1[] = "--nope";
+  std::vector<char*> remaining{a0, a1};
+  tools::CliArgs cli("usage: tool");
+  EXPECT_FALSE(cli.parse(remaining));
+}
+
+TEST(CliArgs, RejectsValueFlagWithoutValue) {
+  char a0[] = "tool";
+  char a1[] = "--folded";
+  std::vector<char*> remaining{a0, a1};
+  std::string folded;
+  tools::CliArgs cli("usage: tool [--folded <path>]");
+  cli.add_value("--folded", &folded);
+  EXPECT_FALSE(cli.parse(remaining));
+  EXPECT_TRUE(folded.empty());
+}
+
+}  // namespace
+}  // namespace hpcos

@@ -1,0 +1,78 @@
+// Shared argument parsing for the developer/CI tools.
+//
+// Every tool front-end starts with obs::parse_bench_options (--quick,
+// --json, --profile) and then interprets the leftover arguments. The
+// leftover loop used to be copy-pasted per tool; this header makes it
+// declarative: register the tool's flags, parse opts.remaining, and get
+// the exact error behavior the tools always had (unknown argument →
+// message + usage line on stderr, caller exits 2).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace hpcos::tools {
+
+class CliArgs {
+ public:
+  explicit CliArgs(std::string usage) : usage_(std::move(usage)) {}
+
+  // --flag <value>: stores the value into *out when present.
+  CliArgs& add_value(std::string flag, std::string* out) {
+    values_.push_back({std::move(flag), out});
+    return *this;
+  }
+
+  // --flag: sets *out = true when present.
+  CliArgs& add_flag(std::string flag, bool* out) {
+    flags_.push_back({std::move(flag), out});
+    return *this;
+  }
+
+  // Parse the argv remainder parse_bench_options produced (argv[0] at
+  // index 0 is skipped). Returns false after printing the error and the
+  // usage line when an argument is unknown or a value is missing.
+  bool parse(const std::vector<char*>& remaining) const {
+    for (std::size_t i = 1; i < remaining.size(); ++i) {
+      const std::string arg = remaining[i];
+      if (take(arg, remaining, i)) continue;
+      std::cerr << "unknown argument: " << arg << "\n" << usage_ << "\n";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  struct ValueOpt {
+    std::string flag;
+    std::string* out;
+  };
+  struct BoolOpt {
+    std::string flag;
+    bool* out;
+  };
+
+  bool take(const std::string& arg, const std::vector<char*>& remaining,
+            std::size_t& i) const {
+    for (const BoolOpt& b : flags_) {
+      if (arg == b.flag) {
+        *b.out = true;
+        return true;
+      }
+    }
+    for (const ValueOpt& v : values_) {
+      if (arg == v.flag && i + 1 < remaining.size()) {
+        *v.out = remaining[++i];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::string usage_;
+  std::vector<ValueOpt> values_;
+  std::vector<BoolOpt> flags_;
+};
+
+}  // namespace hpcos::tools

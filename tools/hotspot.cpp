@@ -1,0 +1,344 @@
+// hotspot — where does the *simulator's own* host time go?
+//
+// The ROADMAP's full-Fugaku item ("profile and rework the DES hot loop")
+// needs a measurement harness before any calendar-queue or arena/SoA
+// rework can be evidence-driven. This tool is that harness. Three
+// sections:
+//
+//   1. Accounting run (serial, profiler on, one root scope): a DES
+//      multi-kernel node under an FWQ workload plus a threads=1 FWQ
+//      campaign. Everything executes on this thread under
+//      "hotspot.run", so the merged profile must satisfy
+//      sum(self) == root total ~= wall clock — the check that validates
+//      the entire self/total accounting chain. Prints the ranked
+//      hotspot table, the DES queue telemetry (push/pop/cancel,
+//      depth-over-virtual-time), the per-handler host-time attribution,
+//      and exports the folded-stack flamegraph (--folded).
+//   2. Scheduler health: the same campaign across the work-stealing
+//      pool with the park/depth timeline enabled; prints per-worker
+//      deque depth, steal success rates, and park time.
+//   3. Memory: per-subsystem allocation counters and process RSS.
+//
+// Exit status is non-zero when any accounting check fails, so the
+// hotspot_smoke ctest job guards the profiler's arithmetic, not just
+// its plumbing. Determinism: every scope/handler *count* and every
+// simulated-time metric is a pure function of (config, seed) and is
+// regression-gated; host times ride under the ignored host.* prefix.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/fwq_campaign.h"
+#include "cluster/node.h"
+#include "common/parallel.h"
+#include "common/table.h"
+#include "hw/platform.h"
+#include "linuxk/config.h"
+#include "mckernel/mckernel.h"
+#include "noise/fwq.h"
+#include "noise/profiles.h"
+#include "obs/bench_report.h"
+#include "obs/prof/mem.h"
+#include "obs/prof/prof.h"
+#include "obs/prof_report.h"
+#include "obs/timeseries/timeseries.h"
+#include "sim/folded_stack.h"
+
+#include "cli_util.h"
+
+namespace {
+
+using namespace hpcos;
+
+cluster::FwqCampaignConfig campaign_config(bool quick, std::size_t threads) {
+  cluster::FwqCampaignConfig config;
+  config.nodes = quick ? 96 : 768;
+  config.app_cores = 48;
+  config.work_quantum = SimTime::from_ms(6.5);
+  config.duration_per_core = quick ? SimTime::sec(60) : SimTime::sec(600);
+  // Finer shards than the default so the scheduler-health section has
+  // deques worth watching. Shard boundaries fix the summation order, so
+  // both runs (serial and parallel) must use the same value — that is
+  // exactly what makes their results bit-comparable.
+  config.nodes_per_shard = 8;
+  config.seed = Seed{2026};
+  config.threads = threads;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = obs::parse_bench_options(argc, argv);
+  std::string folded_path;
+  tools::CliArgs cli(
+      "usage: hotspot [--quick] [--json <path>] [--folded <path>]");
+  cli.add_value("--folded", &folded_path);
+  if (!cli.parse(opts.remaining)) return 2;
+
+  const bool q = opts.quick;
+  obs::BenchReport report("hotspot", q, 2026);
+  bool ok = true;
+
+  // ---- 1. accounting run (serial, one root scope) ----------------------
+  obs::prof::set_thread_buffer_capacity(std::size_t{1} << 20);
+  obs::prof::set_enabled(true);
+  obs::prof::reset();
+
+  const auto platform = hw::make_fugaku_testbed_platform();
+  cluster::SimNodeOptions node_options;
+  node_options.seed = Seed{2026};
+  node_options.observability = true;
+  auto node = cluster::SimNode::make_multikernel_node(
+      platform, linuxk::make_fugaku_linux_config(platform),
+      mck::McKernelConfig::defaults(), node_options);
+
+  // Queue-depth-over-virtual-time series via the simulator's depth probe.
+  obs::ts::TimeSeries depth_series(SimTime::ms(1), /*capacity=*/256);
+  node->simulator().set_depth_probe(
+      [&depth_series](SimTime t, std::size_t depth) {
+        depth_series.record(t, static_cast<double>(depth));
+      });
+
+  cluster::FwqCampaignResult serial_campaign;
+  const SimTime des_until = q ? SimTime::ms(60) : SimTime::ms(250);
+  const std::int64_t wall_start = obs::prof::now_ns();
+  {
+    PROF_SCOPE("hotspot.run");
+    {
+      PROF_SCOPE("hotspot.des");
+      noise::FwqConfig fwq;
+      fwq.work_quantum = SimTime::from_ms(1);
+      fwq.iterations = q ? 40 : 200;
+      noise::run_fwq(node->app_kernel(),
+                     node->topology().application_cores(), fwq);
+      node->simulator().run_until(des_until);
+    }
+    {
+      PROF_SCOPE("hotspot.campaign");
+      serial_campaign = cluster::run_fwq_campaign(
+          noise::fugaku_linux_profile(), campaign_config(q, /*threads=*/1));
+    }
+  }
+  const std::int64_t wall_ns = obs::prof::now_ns() - wall_start;
+  obs::prof::set_enabled(false);
+  const obs::prof::Profile profile = obs::prof::collect();
+
+  print_banner(std::cout, "Host-side hotspots (serial accounting run)");
+  obs::print_profile(std::cout, profile, /*top=*/25);
+
+  // The whole section ran on this thread under one root scope, so the
+  // profiler's arithmetic must close: sum(self) == root total exactly,
+  // and the root total must account for (nearly all of) the wall clock.
+  const std::int64_t sum_self = profile.sum_self_ns();
+  const bool self_closes = sum_self == profile.root_total_ns;
+  const double wall_covered =
+      wall_ns > 0 ? static_cast<double>(profile.root_total_ns) /
+                        static_cast<double>(wall_ns)
+                  : 0.0;
+  const bool wall_accounted = wall_covered > 0.75 && wall_covered < 1.05;
+  std::cout << "accounting: sum(self) = "
+            << TextTable::fmt(static_cast<double>(sum_self) / 1e6, 3)
+            << " ms, root total = "
+            << TextTable::fmt(
+                   static_cast<double>(profile.root_total_ns) / 1e6, 3)
+            << " ms (" << (self_closes ? "exact" : "MISMATCH (BUG)")
+            << "), wall = "
+            << TextTable::fmt(static_cast<double>(wall_ns) / 1e6, 3)
+            << " ms (" << TextTable::fmt_percent(wall_covered, 1)
+            << " accounted" << (wall_accounted ? ")" : " — OUT OF RANGE)")
+            << "\n";
+  ok = ok && self_closes && wall_accounted && profile.dropped == 0;
+
+  // Folded-stack flamegraph export.
+  const std::string folded = profile.folded_text();
+  const std::string folded_err = sim::validate_folded_stack(folded);
+  if (!folded_err.empty()) {
+    std::cout << "folded-stack INVALID: " << folded_err << "\n";
+    ok = false;
+  }
+  if (!folded_path.empty()) {
+    std::ofstream out(folded_path);
+    if (!out) {
+      std::cerr << "cannot open " << folded_path << "\n";
+      return 1;
+    }
+    out << folded;
+    std::cout << "folded flamegraph (" << profile.folded.size()
+              << " stacks) written to " << folded_path << "\n";
+  }
+
+  // DES core telemetry: the event-queue hot path in numbers.
+  const sim::QueueTelemetry& qt = node->simulator().queue_telemetry();
+  print_banner(std::cout, "DES event queue (multi-kernel node, " +
+                              TextTable::fmt(des_until.to_ms(), 0) + " ms)");
+  TextTable queue_table({"pushes", "pops", "cancels", "skipped", "max depth",
+                         "mean depth"});
+  for (std::size_t c = 0; c < 6; ++c) queue_table.set_align(c, Align::kRight);
+  const double mean_depth =
+      depth_series.total_count() > 0
+          ? depth_series.total_sum() /
+                static_cast<double>(depth_series.total_count())
+          : 0.0;
+  queue_table.add_row(
+      {TextTable::fmt_int(static_cast<long long>(qt.pushes)),
+       TextTable::fmt_int(static_cast<long long>(qt.pops)),
+       TextTable::fmt_int(static_cast<long long>(qt.cancels)),
+       TextTable::fmt_int(static_cast<long long>(qt.skipped)),
+       TextTable::fmt_int(static_cast<long long>(qt.max_depth)),
+       TextTable::fmt(mean_depth, 1)});
+  queue_table.print(std::cout);
+
+  const auto handlers = node->simulator().handler_stats();
+  print_banner(std::cout, "DES handler attribution (host time per tag)");
+  TextTable handler_table({"tag", "fired", "host ms", "ns/event"});
+  for (std::size_t c = 1; c < 4; ++c) handler_table.set_align(c, Align::kRight);
+  for (const auto& h : handlers) {
+    handler_table.add_row(
+        {h.tag, TextTable::fmt_int(static_cast<long long>(h.fired)),
+         TextTable::fmt(static_cast<double>(h.host_ns) / 1e6, 3),
+         TextTable::fmt(h.fired > 0 ? static_cast<double>(h.host_ns) /
+                                          static_cast<double>(h.fired)
+                                    : 0.0,
+                        0)});
+  }
+  handler_table.print(std::cout);
+
+  // ---- 2. scheduler health (parallel campaign) --------------------------
+  obs::prof::reset();
+  set_scheduler_timeline(true);
+  // Ask for at least two participants so the run crosses the scheduler
+  // even on single-core CI hosts (requests clamp to parallel_capacity();
+  // results are thread-count-independent by the determinism contract).
+  const auto parallel_campaign = cluster::run_fwq_campaign(
+      noise::fugaku_linux_profile(),
+      campaign_config(q, std::max<std::size_t>(2, parallel_capacity())));
+  const auto health = parallel_worker_health();
+  const auto parks = scheduler_park_events();
+  const auto depths = scheduler_depth_samples();
+  set_scheduler_timeline(false);
+
+  const bool campaign_identical =
+      serial_campaign.stats.noise_rate == parallel_campaign.stats.noise_rate &&
+      serial_campaign.total_iterations == parallel_campaign.total_iterations;
+  ok = ok && campaign_identical;
+
+  print_banner(std::cout,
+               "Work-stealing scheduler health (campaign across " +
+                   std::to_string(parallel_capacity()) + " slots)");
+  TextTable sched({"slot", "chunks", "pushes", "steals", "attempts",
+                   "hit rate", "parks", "park ms", "avg depth", "max depth"});
+  for (std::size_t c = 1; c < 10; ++c) sched.set_align(c, Align::kRight);
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    const WorkerHealth& h = health[i];
+    sched.add_row(
+        {i == 0 ? "caller" : "w" + std::to_string(i),
+         TextTable::fmt_int(static_cast<long long>(h.chunks)),
+         TextTable::fmt_int(static_cast<long long>(h.pushes)),
+         TextTable::fmt_int(static_cast<long long>(h.steals)),
+         TextTable::fmt_int(static_cast<long long>(h.steal_attempts)),
+         h.steal_attempts > 0
+             ? TextTable::fmt_percent(static_cast<double>(h.steals) /
+                                          static_cast<double>(
+                                              h.steal_attempts),
+                                      1)
+             : "-",
+         TextTable::fmt_int(static_cast<long long>(h.parks)),
+         TextTable::fmt(static_cast<double>(h.park_ns) / 1e6, 1),
+         h.depth_samples > 0
+             ? TextTable::fmt(static_cast<double>(h.depth_sum) /
+                                  static_cast<double>(h.depth_samples),
+                              2)
+             : "-",
+         TextTable::fmt_int(static_cast<long long>(h.max_depth))});
+  }
+  sched.print(std::cout);
+  std::cout << "timeline: " << parks.size() << " park intervals, "
+            << depths.size() << " depth samples;  parallel results "
+            << (campaign_identical ? "match serial (bit-identical)"
+                                   : "DIFFER FROM SERIAL (BUG)")
+            << "\n";
+
+  // ---- 3. memory --------------------------------------------------------
+  print_banner(std::cout, "Host memory (per-subsystem counters + RSS)");
+  TextTable mem_table({"counter", "bytes", "events"});
+  mem_table.set_align(1, Align::kRight);
+  mem_table.set_align(2, Align::kRight);
+  for (const auto& c : obs::prof::memory_counters()) {
+    mem_table.add_row({c.name,
+                       TextTable::fmt_int(static_cast<long long>(c.bytes)),
+                       TextTable::fmt_int(static_cast<long long>(c.events))});
+  }
+  mem_table.print(std::cout);
+  const obs::prof::HostMemory host_mem = obs::prof::sample_host_memory();
+  if (host_mem.valid) {
+    std::cout << "rss " << host_mem.rss_bytes / (1024 * 1024)
+              << " MiB, peak rss " << host_mem.peak_rss_bytes / (1024 * 1024)
+              << " MiB, vm " << host_mem.vm_bytes / (1024 * 1024) << " MiB\n";
+  }
+
+  // ---- report -----------------------------------------------------------
+  // Deterministic (gated): every scope/handler count, the DES queue
+  // counters, and the campaign's simulated results. Host times and
+  // scheduler health go under ignored prefixes (host.*, parallel.*.count).
+  report.add_metric("prof.accounting_ok", "bool",
+                    self_closes && wall_accounted ? 1.0 : 0.0);
+  report.add_metric("prof.folded_valid", "bool",
+                    folded_err.empty() ? 1.0 : 0.0);
+  report.add_metric("prof.dropped", "count",
+                    static_cast<double>(profile.dropped));
+  report.add_metric("campaign.bit_identical", "bool",
+                    campaign_identical ? 1.0 : 0.0);
+  report.add_metric("campaign.noise_rate", "ratio",
+                    serial_campaign.stats.noise_rate);
+  report.add_metric("campaign.iterations", "count",
+                    static_cast<double>(serial_campaign.total_iterations));
+  report.add_metric("des.queue.pushes", "count",
+                    static_cast<double>(qt.pushes));
+  report.add_metric("des.queue.pops", "count", static_cast<double>(qt.pops));
+  report.add_metric("des.queue.cancels", "count",
+                    static_cast<double>(qt.cancels));
+  report.add_metric("des.queue.skipped", "count",
+                    static_cast<double>(qt.skipped));
+  report.add_metric("des.queue.max_depth", "count",
+                    static_cast<double>(qt.max_depth));
+  report.add_metric("des.queue.mean_depth", "count", mean_depth);
+  for (const auto& h : handlers) {
+    report.add_metric("des.fire." + h.tag + ".count", "count",
+                      static_cast<double>(h.fired));
+    report.add_metric("host.des.fire." + h.tag + ".us", "us",
+                      static_cast<double>(h.host_ns) / 1e3);
+  }
+  add_profile_metrics(report, profile);
+  add_memory_metrics(report);
+  std::uint64_t total_steals = 0;
+  std::uint64_t total_attempts = 0;
+  std::uint64_t total_parks = 0;
+  std::uint64_t total_park_ns = 0;
+  for (const WorkerHealth& h : health) {
+    total_steals += h.steals;
+    total_attempts += h.steal_attempts;
+    total_parks += h.parks;
+    total_park_ns += h.park_ns;
+  }
+  report.add_metric("parallel.steals.count", "count",
+                    static_cast<double>(total_steals));
+  report.add_metric("parallel.steal_attempts.count", "count",
+                    static_cast<double>(total_attempts));
+  report.add_metric("parallel.parks.count", "count",
+                    static_cast<double>(total_parks));
+  report.add_metric("host.parallel.park_ms", "ms",
+                    static_cast<double>(total_park_ns) / 1e6);
+  report.add_metric("host.wall_ms", "ms", static_cast<double>(wall_ns) / 1e6);
+  report.add_series("des.queue.depth", "events", depth_series);
+  obs::maybe_write_report(report, opts);
+
+  if (!ok) {
+    std::cerr << "hotspot: accounting checks FAILED\n";
+    return 1;
+  }
+  return 0;
+}

@@ -40,6 +40,8 @@
 #include "obs/bench_report.h"
 #include "sim/folded_stack.h"
 
+#include "cli_util.h"
+
 namespace {
 
 using namespace hpcos;
@@ -108,17 +110,10 @@ int main(int argc, char** argv) {
   const auto wall_start = std::chrono::steady_clock::now();
   auto opts = obs::parse_bench_options(argc, argv);
   std::string folded_path;
-  for (std::size_t i = 1; i < opts.remaining.size(); ++i) {
-    const std::string arg = opts.remaining[i];
-    if (arg == "--folded" && i + 1 < opts.remaining.size()) {
-      folded_path = opts.remaining[++i];
-    } else {
-      std::cerr << "unknown argument: " << arg
-                << "\nusage: noise_explain [--quick] [--json <path>] "
-                   "[--folded <path>]\n";
-      return 2;
-    }
-  }
+  tools::CliArgs cli(
+      "usage: noise_explain [--quick] [--json <path>] [--folded <path>]");
+  cli.add_value("--folded", &folded_path);
+  if (!cli.parse(opts.remaining)) return 2;
 
   const Seed seed{2024};
   obs::BenchReport report("noise_explain", opts.quick, seed.value);

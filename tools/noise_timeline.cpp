@@ -44,6 +44,8 @@
 #include "obs/timeseries/openmetrics.h"
 #include "obs/timeseries/timeseries.h"
 
+#include "cli_util.h"
+
 namespace {
 
 using namespace hpcos;
@@ -85,17 +87,11 @@ int main(int argc, char** argv) {
   const auto wall_start = std::chrono::steady_clock::now();
   auto opts = obs::parse_bench_options(argc, argv);
   std::string openmetrics_path;
-  for (std::size_t i = 1; i < opts.remaining.size(); ++i) {
-    const std::string arg = opts.remaining[i];
-    if (arg == "--openmetrics" && i + 1 < opts.remaining.size()) {
-      openmetrics_path = opts.remaining[++i];
-    } else {
-      std::cerr << "unknown argument: " << arg
-                << "\nusage: noise_timeline [--quick] [--json <path>] "
-                   "[--openmetrics <path>]\n";
-      return 2;
-    }
-  }
+  tools::CliArgs cli(
+      "usage: noise_timeline [--quick] [--json <path>] "
+      "[--openmetrics <path>]");
+  cli.add_value("--openmetrics", &openmetrics_path);
+  if (!cli.parse(opts.remaining)) return 2;
 
   const Seed seed{2025};
   obs::BenchReport report("noise_timeline", opts.quick, seed.value);
