@@ -15,6 +15,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "cluster/config_json.h"
 #include "cluster/fwq_campaign.h"
 #include "common/ascii_plot.h"
 #include "common/parallel.h"
@@ -143,6 +144,10 @@ int main(int argc, char** argv) {
   cfg.duration_per_core = duration;
   cfg.max_materialized_hits = 256;
   cfg.seed = Seed{20211115};
+  // Ledger identity for this bench: the headline full-scale campaign
+  // config (quick vs full runs hash differently, as they must — the node
+  // population is a semantic knob).
+  report.set_config(cluster::to_config_json(cfg));
   const auto full = cluster::run_fwq_campaign(noise::fugaku_linux_profile(),
                                               cfg);
   print_banner(std::cout,

@@ -1,14 +1,16 @@
 // Smoke harness for the machine-readable bench output (EXPERIMENTS.md,
 // "Observability").
 //
-// Usage: bench_smoke <bench-binary> <output.json>
+// Usage: bench_smoke <bench-binary> <output.json> [extra-args...]
 //
-// Runs `<bench-binary> --quick --json <output.json>`, then re-reads the
-// file and schema-validates it: required keys present, schema string
-// matches, metrics non-empty, every value finite (NaN/Inf serialize as
-// JSON null and fail the parse-level check). Exit 0 only when the bench
-// ran, wrote the file, and the document validates — this is what the
-// per-bench `bench_smoke.*` ctest jobs execute.
+// Runs `<bench-binary> --quick --json <output.json> [extra-args...]`,
+// then re-reads the file and schema-validates it: required keys present,
+// schema string matches, metrics non-empty, every value finite (the JSON
+// writer refuses NaN/Inf outright; the validator re-checks parsed
+// values). Extra arguments pass through verbatim — the trend_smoke job
+// uses this to hand the tool its `--ledger <fixture>` input. Exit 0 only
+// when the bench ran, wrote the file, and the document validates — this
+// is what the per-bench `bench_smoke.*` ctest jobs execute.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -19,8 +21,9 @@
 #include "obs/bench_report.h"
 
 int main(int argc, char** argv) {
-  if (argc != 3) {
-    std::cerr << "usage: bench_smoke <bench-binary> <output.json>\n";
+  if (argc < 3) {
+    std::cerr
+        << "usage: bench_smoke <bench-binary> <output.json> [extra-args...]\n";
     return 2;
   }
   const std::string binary = argv[1];
@@ -29,7 +32,11 @@ int main(int argc, char** argv) {
   // Stale output must not mask a bench that silently stopped writing.
   std::remove(json_path.c_str());
 
-  const std::string cmd = binary + " --quick --json " + json_path;
+  std::string cmd = binary + " --quick --json " + json_path;
+  for (int i = 3; i < argc; ++i) {
+    cmd += ' ';
+    cmd += argv[i];
+  }
   std::cout << "[bench_smoke] running: " << cmd << "\n" << std::flush;
   const int rc = std::system(cmd.c_str());
   if (rc != 0) {

@@ -1,0 +1,96 @@
+#include "common/confighash.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hpcos {
+
+namespace {
+
+void write_canonical(const JsonValue& value, std::string& out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += value.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      out += json_format_number(value.as_number());
+      return;
+    case JsonValue::Kind::kString:
+      out += '"';
+      out += json_escape(value.as_string());
+      out += '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& v : value.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        write_canonical(v, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      // Keys sort bytewise; JsonValue::set already deduplicates, so the
+      // sorted view is a permutation of the members, never a merge.
+      std::vector<const JsonMember*> members;
+      members.reserve(value.members().size());
+      for (const JsonMember& m : value.members()) members.push_back(&m);
+      std::sort(members.begin(), members.end(),
+                [](const JsonMember* a, const JsonMember* b) {
+                  return a->first < b->first;
+                });
+      out += '{';
+      bool first = true;
+      for (const JsonMember* m : members) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(m->first);
+        out += "\":";
+        write_canonical(m->second, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string canonical_json(const JsonValue& value) {
+  std::string out;
+  write_canonical(value, out);
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t state) {
+  for (const char c : bytes) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnv1a64Prime;
+  }
+  return state;
+}
+
+std::string to_hex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t config_hash64(const JsonValue& config) {
+  std::uint64_t state = fnv1a64(kConfigHashSchema);
+  state = fnv1a64("\n", state);
+  return fnv1a64(canonical_json(config), state);
+}
+
+std::string config_hash_hex(const JsonValue& config) {
+  return to_hex64(config_hash64(config));
+}
+
+}  // namespace hpcos

@@ -17,25 +17,34 @@ void type_error(const char* want) {
   throw std::runtime_error(std::string("JSON value is not a ") + want);
 }
 
-// Shortest round-trip-ish rendering: integers print without a fraction,
-// everything else uses enough digits to survive a parse round trip.
-std::string format_number(double d) {
+}  // namespace
+
+std::string json_format_number(double d) {
   if (!std::isfinite(d)) {
-    // JSON has no NaN/Inf; emit null so consumers fail validation loudly
-    // (the BenchReport validator checks for it) instead of producing a
-    // syntactically broken document.
-    return "null";
+    throw std::runtime_error(
+        "JSON cannot represent a non-finite number (NaN/Inf); drop or "
+        "replace the value before serializing");
   }
+  if (d == 0.0) return "0";  // normalizes -0.0, which JSON cannot preserve
   if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
-      std::abs(d) < 1e15) {
+      std::abs(d) < 9.007199254740992e15) {  // 2^53: exact integer range
     return std::to_string(static_cast<std::int64_t>(d));
   }
-  char buf[32];
+  // Shortest representation that survives the round trip: try increasing
+  // precision and return the first rendering that parses back bit-equal.
+  // (%.17g always round-trips but prints 0.1 as 0.10000000000000001; the
+  // canonical form must be the minimal one so re-serialized documents and
+  // config hashes are byte-stable.)
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    const int n = std::snprintf(buf, sizeof(buf), "%.*g", precision, d);
+    double back = 0.0;
+    const auto [ptr, ec] = std::from_chars(buf, buf + n, back);
+    if (ec == std::errc{} && ptr == buf + n && back == d) return buf;
+  }
   std::snprintf(buf, sizeof(buf), "%.17g", d);
   return buf;
 }
-
-}  // namespace
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -142,7 +151,7 @@ void JsonValue::write(std::string& out, int indent, int depth) const {
       out += bool_ ? "true" : "false";
       return;
     case Kind::kNumber:
-      out += format_number(num_);
+      out += json_format_number(num_);
       return;
     case Kind::kString:
       out += '"';

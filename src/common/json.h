@@ -102,4 +102,13 @@ class JsonValue {
 // Escape a string for embedding in a JSON document (without quotes).
 std::string json_escape(const std::string& s);
 
+// Canonical number rendering used by dump()/dump_pretty() and the
+// config-hash canonicalizer (common/confighash.h): integers within 2^53
+// print without a fraction, -0 normalizes to "0", everything else uses the
+// *shortest* decimal form that parses back to the identical double (so a
+// serialize -> parse -> serialize round trip is byte-stable). Throws
+// std::runtime_error on NaN/Inf — JSON has no representation for them, and
+// a loud error beats silently emitting a lossy placeholder.
+std::string json_format_number(double d);
+
 }  // namespace hpcos

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cfloat>
 #include <cmath>
+#include <fstream>
 #include <initializer_list>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -188,6 +190,22 @@ DiffPolicy parse_tolerance_policy(const JsonValue& doc) {
     }
   }
   return policy;
+}
+
+JsonValue load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return JsonValue::parse(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+DiffPolicy load_tolerance_policy(const std::string& path) {
+  return parse_tolerance_policy(load_json_file(path));
 }
 
 DiffResult diff_reports(const JsonValue& current, const JsonValue& baseline,

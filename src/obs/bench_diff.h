@@ -59,6 +59,15 @@ bool glob_match(const std::string& pattern, const std::string& text);
 // schema string or malformed entries.
 DiffPolicy parse_tolerance_policy(const JsonValue& doc);
 
+// Read + parse a whole JSON document from a file; throws std::runtime_error
+// (with the path) on open/parse failure. Shared by the bench_diff and
+// trend CLIs so every tool reports file problems identically.
+JsonValue load_json_file(const std::string& path);
+
+// load_json_file + parse_tolerance_policy: the one call sites use to go
+// from a --tolerances path to a DiffPolicy.
+DiffPolicy load_tolerance_policy(const std::string& path);
+
 struct MetricDelta {
   std::string metric;  // metric name, or "<name>.p50" for a percentile
   double baseline = 0.0;

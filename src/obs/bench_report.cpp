@@ -1,16 +1,42 @@
 #include "obs/bench_report.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 
 #include "common/parallel.h"
 #include "obs/prof/prof.h"
 #include "obs/prof_report.h"
+#include "obs/runlog.h"
 #include "obs/timeseries/timeseries.h"
 
 namespace hpcos::obs {
+
+namespace {
+
+// Ledger timestamp, injected at this edge only: HPCOS_RUN_TIMESTAMP
+// overrides (CI can stamp a commit date; tests can pin a constant), else
+// the current UTC wall clock. Record construction itself never reads a
+// clock (obs/runlog determinism contract).
+std::string ledger_timestamp() {
+  if (const char* injected = std::getenv("HPCOS_RUN_TIMESTAMP");
+      injected != nullptr && injected[0] != '\0') {
+    return injected;
+  }
+  const std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+}  // namespace
 
 BenchReport::BenchReport(std::string bench_name, bool quick,
                          std::uint64_t seed)
@@ -121,8 +147,9 @@ std::string validate_bench_report(const JsonValue& doc) {
     }
     if (!m.at("unit").is_string()) return where + " unit is not a string";
     if (!m.at("value").is_number()) {
-      // NaN/Inf serialize as null (see json.cpp) — report it as such.
-      return where + " value is missing, NaN, or infinite";
+      // The writer refuses NaN/Inf (json_format_number throws), so a
+      // non-number here means a hand-edited or foreign document.
+      return where + " value is missing or not a number";
     }
     if (!std::isfinite(m.at("value").as_number())) {
       return where + " value is not finite";
@@ -187,6 +214,12 @@ BenchOptions parse_bench_options(int argc, char** argv) {
         std::exit(2);
       }
       opts.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--ledger") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--ledger requires a path argument\n";
+        std::exit(2);
+      }
+      opts.ledger_path = argv[++i];
     } else {
       opts.remaining.push_back(argv[i]);
     }
@@ -205,10 +238,33 @@ void maybe_write_report(BenchReport& report, const BenchOptions& opts) {
     std::cout << "\n=== host-side hotspots (--profile) ===\n";
     print_profile(std::cout, profile);
   }
-  if (opts.json_path.empty()) return;
-  report.write(opts.json_path);
-  std::cout << "[bench-report] wrote " << report.metric_count()
-            << " metrics to " << opts.json_path << "\n";
+  if (!opts.json_path.empty()) {
+    report.write(opts.json_path);
+    std::cout << "[bench-report] wrote " << report.metric_count()
+              << " metrics to " << opts.json_path << "\n";
+  }
+  if (!opts.ledger_path.empty()) {
+    // Config fallback when the target attached none: the bench identity.
+    // Targets with a real simulation config call report.set_config() and
+    // get exact-memoization hashes instead.
+    JsonValue config = report.config();
+    if (config.is_null()) {
+      config = JsonValue::object();
+      config.set("schema", "hpcos-config-bench-identity/1");
+      config.set("bench", report.bench_name());
+      config.set("quick", report.quick());
+      config.set("seed", report.seed());
+    }
+    const prof::Profile profile = opts.profile ? prof::collect()
+                                               : prof::Profile{};
+    const JsonValue record = make_run_record(
+        report, config, ledger_timestamp(),
+        opts.profile ? &profile : nullptr);
+    append_run_record(opts.ledger_path, record);
+    std::cout << "[run-ledger] appended " << report.bench_name()
+              << " (config " << record.at("config_hash").as_string()
+              << ") to " << opts.ledger_path << "\n";
+  }
 }
 
 }  // namespace hpcos::obs

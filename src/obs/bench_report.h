@@ -63,6 +63,23 @@ class BenchReport {
   void add_series(const std::string& name, const std::string& unit,
                   const ts::TimeSeries& series);
 
+  // Attach the canonical config document (cluster/config_json.h) that
+  // produced this run. The run ledger (obs/runlog) keys the record by its
+  // confighash; when no config is attached, maybe_write_report falls back
+  // to the bench identity (name, quick, seed) so every target still
+  // ledgers without per-target plumbing.
+  void set_config(JsonValue config) { config_ = std::move(config); }
+  // Null when no config was attached.
+  const JsonValue& config() const { return config_; }
+
+  const std::string& bench_name() const { return bench_name_; }
+  bool quick() const { return quick_; }
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<BenchMetric>& metrics() const { return metrics_; }
+  // The JSON series entries exactly as to_json() emits them (runlog
+  // digests these).
+  const std::vector<JsonValue>& series_json() const { return series_; }
+
   std::size_t metric_count() const { return metrics_.size(); }
   std::size_t series_count() const { return series_.size(); }
 
@@ -75,6 +92,7 @@ class BenchReport {
   std::string bench_name_;
   bool quick_ = false;
   std::uint64_t seed_ = 0;
+  JsonValue config_;  // null unless set_config was called
   std::vector<BenchMetric> metrics_;
   std::vector<JsonValue> series_;
 };
@@ -92,12 +110,19 @@ std::string validate_bench_report(const JsonValue& doc);
 //                   collected hotspot metrics (prof.*.count gated,
 //                   host.prof.* / host.mem.* ignore-listed) to the
 //                   report and prints the ranked table to stdout
+//   --ledger <path> append one run record (obs/runlog) for this run to
+//                   the JSONL ledger at <path> — config hash, metric
+//                   snapshot, series digests, host summary. Handled
+//                   entirely in maybe_write_report, so every bench
+//                   target and analysis CLI ledgers with zero
+//                   per-target plumbing (mirrors --profile).
 // Unknown arguments are left for the target to interpret (the google-
 // benchmark ablations forward the remainder to benchmark::Initialize).
 struct BenchOptions {
   bool quick = false;
   bool profile = false;
   std::string json_path;
+  std::string ledger_path;
   // argv with the recognized flags removed (argv[0] preserved).
   std::vector<char*> remaining;
 };

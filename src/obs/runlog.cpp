@@ -1,0 +1,281 @@
+#include "obs/runlog.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/confighash.h"
+#include "common/parallel.h"
+#include "obs/bench_report.h"
+#include "obs/prof/prof.h"
+
+namespace hpcos::obs {
+
+namespace {
+
+bool is_host_metric(const std::string& name) {
+  return name.rfind("host.", 0) == 0;
+}
+
+JsonValue metric_to_json(const BenchMetric& m) {
+  JsonValue v = JsonValue::object();
+  v.set("name", m.name);
+  v.set("unit", m.unit);
+  v.set("value", m.value);
+  if (!m.percentiles.empty()) {
+    JsonValue pct = JsonValue::object();
+    for (const auto& [k, val] : m.percentiles) pct.set(k, val);
+    v.set("percentiles", std::move(pct));
+  }
+  return v;
+}
+
+// Sum/count over a BenchReport series entry's non-empty buckets.
+void series_totals(const JsonValue& series, double* sum,
+                   std::uint64_t* count) {
+  *sum = 0.0;
+  *count = 0;
+  if (const JsonValue* buckets = series.find("buckets");
+      buckets != nullptr && buckets->is_array()) {
+    for (const JsonValue& b : buckets->as_array()) {
+      *sum += b.at("sum").as_number();
+      *count += static_cast<std::uint64_t>(b.at("count").as_number());
+    }
+  }
+}
+
+bool is_hex16(const std::string& s) {
+  if (s.size() != 16) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c) || (c >= 'a' && c <= 'f');
+  });
+}
+
+}  // namespace
+
+JsonValue make_run_record(const BenchReport& report, const JsonValue& config,
+                          const std::string& timestamp,
+                          const prof::Profile* profile) {
+  JsonValue record = JsonValue::object();
+  record.set("schema", kRunLedgerSchema);
+  record.set("target", report.bench_name());
+  record.set("quick", report.quick());
+  record.set("seed", report.seed());
+  record.set("config_hash", config_hash_hex(config));
+  record.set("config", config);
+
+  JsonValue metrics = JsonValue::array();
+  JsonValue host_metrics = JsonValue::array();
+  for (const BenchMetric& m : report.metrics()) {
+    // host.* names the wall-clock measurements by repo convention
+    // (ROADMAP standing constraints); they live in the non-deterministic
+    // "host" section so the deterministic line stays bit-stable.
+    (is_host_metric(m.name) ? host_metrics : metrics)
+        .push_back(metric_to_json(m));
+  }
+  record.set("metrics", std::move(metrics));
+
+  JsonValue series = JsonValue::array();
+  for (const JsonValue& s : report.series_json()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", s.at("name").as_string());
+    // The digest pins the full bucket payload without storing it: trend
+    // can tell "same series bytes" from "changed" at O(1) ledger size.
+    entry.set("digest", to_hex64(fnv1a64(canonical_json(s))));
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    series_totals(s, &sum, &count);
+    entry.set("sum", sum);
+    entry.set("count", count);
+    series.push_back(std::move(entry));
+  }
+  record.set("series", std::move(series));
+
+  JsonValue host = JsonValue::object();
+  host.set("timestamp", timestamp);
+  host.set("parallelism", static_cast<std::uint64_t>(default_parallelism()));
+  if (!host_metrics.as_array().empty()) {
+    host.set("metrics", std::move(host_metrics));
+  }
+  if (profile != nullptr && !profile->scopes.empty()) {
+    // Compact summary: top scopes by self time (the collect() ranking),
+    // enough to answer "where did this run's host time go" from the
+    // ledger alone without the full hotspot report.
+    JsonValue top = JsonValue::array();
+    const std::size_t n = std::min<std::size_t>(profile->scopes.size(), 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      const prof::ScopeStat& s = profile->scopes[i];
+      JsonValue entry = JsonValue::object();
+      entry.set("scope", s.name);
+      entry.set("count", s.count);
+      entry.set("self_ms", static_cast<double>(s.self_ns) / 1e6);
+      entry.set("total_ms", static_cast<double>(s.total_ns) / 1e6);
+      top.push_back(std::move(entry));
+    }
+    host.set("profile", std::move(top));
+  }
+  record.set("host", std::move(host));
+  return record;
+}
+
+std::string validate_run_record(const JsonValue& record) {
+  if (!record.is_object()) return "record is not a JSON object";
+  for (const char* key :
+       {"schema", "target", "quick", "seed", "config_hash", "metrics"}) {
+    if (!record.contains(key)) {
+      return std::string("missing key \"") + key + "\"";
+    }
+  }
+  if (!record.at("schema").is_string()) return "schema is not a string";
+  if (record.at("schema").as_string() != kRunLedgerSchema) {
+    // Unknown versions are rejected outright: a reader silently accepting
+    // a future schema would misinterpret fields, the exact bug a strict
+    // version gate exists to prevent.
+    return "unknown schema \"" + record.at("schema").as_string() +
+           "\" (want \"" + kRunLedgerSchema + "\")";
+  }
+  if (!record.at("target").is_string() ||
+      record.at("target").as_string().empty()) {
+    return "target missing or empty";
+  }
+  if (!record.at("quick").is_bool()) return "quick is not a bool";
+  if (!record.at("seed").is_number()) return "seed is not a number";
+  if (!record.at("config_hash").is_string() ||
+      !is_hex16(record.at("config_hash").as_string())) {
+    return "config_hash is not a 16-digit lowercase hex string";
+  }
+  if (!record.at("metrics").is_array()) return "metrics is not an array";
+  const JsonArray& metrics = record.at("metrics").as_array();
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const JsonValue& m = metrics[i];
+    const std::string where = "metrics[" + std::to_string(i) + "]";
+    if (!m.is_object()) return where + " is not an object";
+    for (const char* key : {"name", "unit", "value"}) {
+      if (!m.contains(key)) return where + " missing \"" + key + "\"";
+    }
+    if (!m.at("value").is_number() ||
+        !std::isfinite(m.at("value").as_number())) {
+      return where + " value is not a finite number";
+    }
+  }
+  if (const JsonValue* series = record.find("series"); series != nullptr) {
+    if (!series->is_array()) return "series is not an array";
+    const JsonArray& entries = series->as_array();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const JsonValue& s = entries[i];
+      const std::string where = "series[" + std::to_string(i) + "]";
+      if (!s.is_object()) return where + " is not an object";
+      if (!s.contains("name") || !s.at("name").is_string()) {
+        return where + " name missing";
+      }
+      if (!s.contains("digest") || !s.at("digest").is_string() ||
+          !is_hex16(s.at("digest").as_string())) {
+        return where + " digest missing or not 16-digit hex";
+      }
+    }
+  }
+  if (const JsonValue* host = record.find("host");
+      host != nullptr && !host->is_object()) {
+    return "host is not an object";
+  }
+  return {};
+}
+
+std::string run_record_line(const JsonValue& record) {
+  if (const std::string err = validate_run_record(record); !err.empty()) {
+    throw std::runtime_error("run record invalid: " + err);
+  }
+  return record.dump();
+}
+
+void append_run_record(const std::string& path, const JsonValue& record) {
+  const std::string line = run_record_line(record) + "\n";
+  // O_APPEND + a single write: concurrent appenders interleave at line
+  // granularity and a crash can only tear the final line, which the
+  // lenient reader skips.
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    throw std::runtime_error("cannot open run ledger " + path + ": " +
+                             std::strerror(errno));
+  }
+  std::size_t done = 0;
+  while (done < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + done, line.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("write failed for run ledger " + path + ": " +
+                               std::strerror(err));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0) {
+    throw std::runtime_error("close failed for run ledger " + path);
+  }
+}
+
+std::string deterministic_line(const JsonValue& record) {
+  JsonValue stripped = JsonValue::object();
+  for (const JsonMember& m : record.members()) {
+    if (m.first == "host") continue;
+    stripped.set(m.first, m.second);
+  }
+  return canonical_json(stripped);
+}
+
+std::string deterministic_digest_hex(const JsonValue& record) {
+  return to_hex64(fnv1a64(deterministic_line(record)));
+}
+
+RunLedger parse_run_ledger(const std::string& text, bool strict) {
+  RunLedger ledger;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string err;
+    try {
+      JsonValue record = JsonValue::parse(line);
+      err = validate_run_record(record);
+      if (err.empty()) {
+        ledger.records.push_back(std::move(record));
+        continue;
+      }
+    } catch (const std::exception& e) {
+      err = e.what();
+    }
+    if (strict) {
+      throw std::runtime_error("run ledger line " + std::to_string(line_no) +
+                               ": " + err);
+    }
+    ++ledger.skipped;
+  }
+  return ledger;
+}
+
+RunLedger read_run_ledger(const std::string& path, bool strict) {
+  std::ifstream in(path);
+  if (!in) {
+    if (strict) {
+      throw std::runtime_error("cannot open run ledger: " + path);
+    }
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_run_ledger(buf.str(), strict);
+}
+
+}  // namespace hpcos::obs

@@ -1,0 +1,109 @@
+// Cross-run trend analysis over a run ledger (obs/runlog).
+//
+// The ledger answers "what ran"; this module answers "how is it moving".
+// Records group by (target, config hash) — within a group every run is
+// the same experiment by the confighash contract, so any metric movement
+// is a code change, a perf change, or host noise (host.* metrics never
+// reach the deterministic record section and never appear here). Three
+// analyses, all deterministic over a fixed ledger:
+//
+//   * regressions — the newest run's metrics vs the median of all prior
+//     runs, judged by the SAME tolerance policy the bench_gate uses
+//     (obs/bench_diff DiffPolicy: glob rules, ignore list, rel/abs
+//     allowance). One policy file governs both per-commit gating and
+//     cross-run trend flags.
+//   * drift — robust median/MAD changepoint per metric series: the split
+//     maximizing |median(before) - median(after)| scaled by the series
+//     MAD. Catches slow multi-run creep that per-pair tolerance checks
+//     miss.
+//   * sparklines — a compact ASCII ramp of each metric's history for the
+//     trend table.
+//
+// tools/trend is the CLI front-end; tests/test_trend.cpp pins the
+// analyses, including the injected-regression fixture the trend_gate CI
+// job replays.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/bench_diff.h"
+
+namespace hpcos::obs::trend {
+
+// One metric's history within a group, in ledger append order. Runs that
+// do not emit the metric contribute no entry (values are positional, not
+// per-record-index).
+struct MetricSeries {
+  std::string name;
+  std::string unit;
+  std::vector<double> values;
+};
+
+struct RunGroup {
+  std::string target;
+  std::string config_hash;
+  std::size_t runs = 0;                 // records in this group
+  std::vector<MetricSeries> metrics;    // first-seen order
+};
+
+// Group ledger records by (target, config_hash), groups in first-seen
+// order — deterministic for a fixed ledger. Percentile entries flatten to
+// "<name>.<pN>" exactly as bench_diff does, so tolerance globs match the
+// same names in both tools.
+std::vector<RunGroup> group_records(const std::vector<JsonValue>& records);
+
+// Batch median (copies + sorts). Returns 0 for an empty set.
+double median(std::vector<double> values);
+// Median absolute deviation around `center`.
+double mad(const std::vector<double>& values, double center);
+
+// ASCII ramp sparkline of the series scaled to its own min..max, one
+// glyph per value (the last `max_width` values when longer). Constant
+// series render as a flat mid-ramp line.
+std::string sparkline(const std::vector<double>& values,
+                      std::size_t max_width = 48);
+
+struct Regression {
+  std::string target;
+  std::string config_hash;
+  std::string metric;
+  double baseline = 0.0;   // median of all runs before the newest
+  double current = 0.0;    // newest run's value
+  double rel_delta = 0.0;  // |delta| / max(|baseline|, DBL_MIN)
+  MetricTolerance tolerance;
+};
+
+// Flag metrics whose newest value drifted out of tolerance vs the median
+// of their prior history. Groups with fewer than 2 runs and metrics the
+// policy ignores are skipped. Ranked worst-first by relative delta.
+std::vector<Regression> find_regressions(const std::vector<RunGroup>& groups,
+                                         const DiffPolicy& policy);
+
+struct Drift {
+  std::string target;
+  std::string config_hash;
+  std::string metric;
+  std::size_t split = 0;      // first index of the "after" segment
+  double before_median = 0.0;
+  double after_median = 0.0;
+  double score = 0.0;         // |after - before| / MAD scale
+};
+
+// Robust changepoint scan per metric series with >= 2*min_segment values:
+// report the best split when its score exceeds `min_score`. The MAD scale
+// has a small relative floor so exactly-constant histories cannot divide
+// by zero (any step on a constant series is a clean detection).
+std::vector<Drift> find_drift(const std::vector<RunGroup>& groups,
+                              double min_score = 6.0,
+                              std::size_t min_segment = 3);
+
+// OpenMetrics exposition of the grouped view: for every group metric,
+//   hpcos_trend{target=...,config=...,metric=...,stat="last"|"median"} v
+//   hpcos_trend_runs{target=...,config=...} n
+// terminated by "# EOF". Round-trips through ts::parse_openmetrics.
+std::string trend_openmetrics_text(const std::vector<RunGroup>& groups);
+
+}  // namespace hpcos::obs::trend

@@ -1,0 +1,241 @@
+// Canonical config serialization + stable config digests (DESIGN §8).
+//
+// Two halves of the contract:
+//  * invariance — member insertion order and pure host-execution knobs
+//    (threads, registry sink) never change the hash;
+//  * sensitivity — every semantic knob of every config serializer flips
+//    the hash when flipped.
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/config_json.h"
+#include "cluster/fwq_campaign.h"
+#include "cluster/osenv.h"
+#include "cluster/workload.h"
+#include "common/confighash.h"
+#include "common/json.h"
+#include "noise/profiles.h"
+#include "obs/registry.h"
+
+namespace hpcos {
+namespace {
+
+// ------------------------------------------------------ canonical form
+
+TEST(CanonicalJson, SortsKeysAtEveryLevelAndDropsWhitespace) {
+  JsonValue a = JsonValue::object();
+  a.set("zeta", 1);
+  JsonValue inner_a = JsonValue::object();
+  inner_a.set("b", 2);
+  inner_a.set("a", 3);
+  a.set("alpha", std::move(inner_a));
+
+  JsonValue b = JsonValue::object();
+  JsonValue inner_b = JsonValue::object();
+  inner_b.set("a", 3);
+  inner_b.set("b", 2);
+  b.set("alpha", std::move(inner_b));
+  b.set("zeta", 1);
+
+  EXPECT_EQ(canonical_json(a), canonical_json(b));
+  EXPECT_EQ(canonical_json(a), R"({"alpha":{"a":3,"b":2},"zeta":1})");
+}
+
+TEST(CanonicalJson, NumbersAreShortestRoundTripForm) {
+  JsonValue v = JsonValue::object();
+  v.set("whole", 3.0);
+  v.set("neg_zero", -0.0);
+  v.set("tenth", 0.1);
+  v.set("big", 9007199254740991.0);  // 2^53 - 1 stays integral
+  EXPECT_EQ(canonical_json(v),
+            R"({"big":9007199254740991,"neg_zero":0,"tenth":0.1,"whole":3})");
+
+  // Shortest form must parse back to the identical double, including
+  // values with no short decimal expansion.
+  const double awkward = 1.0 / 3.0;
+  JsonValue w = JsonValue::object();
+  w.set("x", awkward);
+  const std::string text = canonical_json(w);
+  EXPECT_EQ(JsonValue::parse(text).at("x").as_number(), awkward);
+  // And re-canonicalizing the parsed document is a fixed point.
+  EXPECT_EQ(canonical_json(JsonValue::parse(text)), text);
+}
+
+TEST(CanonicalJson, RejectsNonFiniteNumbersLoudly) {
+  JsonValue v = JsonValue::object();
+  v.set("bad", std::nan(""));
+  EXPECT_THROW((void)canonical_json(v), std::runtime_error);
+  JsonValue inf = JsonValue::object();
+  JsonValue arr = JsonValue::array();
+  arr.push_back(JsonValue(HUGE_VAL));
+  inf.set("nested", std::move(arr));
+  EXPECT_THROW((void)canonical_json(inf), std::runtime_error);
+}
+
+// ------------------------------------------------------------ FNV-1a 64
+
+TEST(Fnv1a64, MatchesReferenceVectorsAndChains) {
+  EXPECT_EQ(fnv1a64(""), kFnv1a64Offset);
+  // Reference vectors from the FNV specification.
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+  // Chaining state is equivalent to hashing the concatenation.
+  EXPECT_EQ(fnv1a64("bar", fnv1a64("foo")), fnv1a64("foobar"));
+  EXPECT_EQ(to_hex64(0xaf63dc4c8601ec8cull), "af63dc4c8601ec8c");
+  EXPECT_EQ(to_hex64(0x1ull), "0000000000000001");
+}
+
+// ------------------------------------------------- invariance contract
+
+TEST(ConfigHash, HostExecutionKnobsNeverReachTheHash) {
+  cluster::FwqCampaignConfig config;
+  const std::string base = config_hash_hex(cluster::to_config_json(config));
+
+  config.threads = 1;
+  EXPECT_EQ(config_hash_hex(cluster::to_config_json(config)), base);
+  config.threads = 8;
+  EXPECT_EQ(config_hash_hex(cluster::to_config_json(config)), base);
+  obs::Registry registry;
+  config.registry = &registry;
+  EXPECT_EQ(config_hash_hex(cluster::to_config_json(config)), base);
+}
+
+TEST(ConfigHash, InvariantUnderMemberReordering) {
+  const JsonValue doc =
+      cluster::to_config_json(cluster::FwqCampaignConfig{});
+  // Rebuild the document with members inserted in reverse order.
+  JsonValue reversed = JsonValue::object();
+  const auto& members = doc.members();
+  for (auto it = members.rbegin(); it != members.rend(); ++it) {
+    reversed.set(it->first, it->second);
+  }
+  EXPECT_NE(doc.dump(), reversed.dump());  // insertion order differs...
+  EXPECT_EQ(config_hash_hex(doc), config_hash_hex(reversed));  // ...hash not
+}
+
+TEST(ConfigHash, SchemaPrefixKeepsEqualBodiesApart) {
+  // Same canonical body under different schema strings must not collide:
+  // the prefix is part of the digest.
+  JsonValue v = JsonValue::object();
+  v.set("x", 1);
+  EXPECT_NE(config_hash64(v), fnv1a64(canonical_json(v)));
+}
+
+// ------------------------------------------------ sensitivity contract
+
+using FwqMutator = std::function<void(cluster::FwqCampaignConfig&)>;
+
+TEST(ConfigHash, EverySemanticFwqKnobChangesTheHash) {
+  const std::string base =
+      config_hash_hex(cluster::to_config_json(cluster::FwqCampaignConfig{}));
+  const std::vector<std::pair<const char*, FwqMutator>> knobs = {
+      {"nodes", [](auto& c) { c.nodes += 1; }},
+      {"app_cores", [](auto& c) { c.app_cores += 1; }},
+      {"work_quantum", [](auto& c) { c.work_quantum = SimTime::from_ms(7); }},
+      {"duration_per_core",
+       [](auto& c) { c.duration_per_core = SimTime::sec(60); }},
+      {"worst_nodes_to_keep", [](auto& c) { c.worst_nodes_to_keep += 1; }},
+      {"floor_samples_per_node",
+       [](auto& c) { c.floor_samples_per_node += 1; }},
+      {"max_materialized_hits",
+       [](auto& c) { c.max_materialized_hits += 1; }},
+      {"all_cores_jitter_sigma",
+       [](auto& c) { c.all_cores_jitter_sigma = 0.25; }},
+      {"nodes_per_shard", [](auto& c) { c.nodes_per_shard *= 2; }},
+      {"worst_heap_capacity", [](auto& c) { c.worst_heap_capacity = 128; }},
+      {"timeline", [](auto& c) { c.timeline = !c.timeline; }},
+      {"timeline_buckets", [](auto& c) { c.timeline_buckets += 1; }},
+      {"timeline_resolution",
+       [](auto& c) { c.timeline_resolution = SimTime::ms(5); }},
+      {"sketch_relative_error",
+       [](auto& c) { c.sketch_relative_error = 0.02; }},
+      {"heatmap_rows", [](auto& c) { c.heatmap_rows += 1; }},
+      {"heatmap_cols", [](auto& c) { c.heatmap_cols += 1; }},
+      {"seed", [](auto& c) { c.seed = Seed{c.seed.value + 1}; }},
+  };
+  for (const auto& [name, mutate] : knobs) {
+    cluster::FwqCampaignConfig mutated;
+    mutate(mutated);
+    EXPECT_NE(config_hash_hex(cluster::to_config_json(mutated)), base)
+        << "knob \"" << name << "\" did not change the config hash";
+  }
+}
+
+TEST(ConfigHash, CountermeasureTogglesAllChangeTheHash) {
+  const noise::Countermeasures base_cm;
+  const std::string base = config_hash_hex(cluster::to_config_json(base_cm));
+  const std::vector<
+      std::pair<const char*, std::function<void(noise::Countermeasures&)>>>
+      knobs = {
+          {"bind_daemons", [](auto& c) { c.bind_daemons = !c.bind_daemons; }},
+          {"bind_kworkers",
+           [](auto& c) { c.bind_kworkers = !c.bind_kworkers; }},
+          {"bind_blkmq", [](auto& c) { c.bind_blkmq = !c.bind_blkmq; }},
+          {"stop_pmu_reads",
+           [](auto& c) { c.stop_pmu_reads = !c.stop_pmu_reads; }},
+          {"suppress_global_tlbi",
+           [](auto& c) { c.suppress_global_tlbi = !c.suppress_global_tlbi; }},
+      };
+  for (const auto& [name, mutate] : knobs) {
+    noise::Countermeasures cm;
+    mutate(cm);
+    EXPECT_NE(config_hash_hex(cluster::to_config_json(cm)), base)
+        << "countermeasure \"" << name << "\" did not change the hash";
+  }
+}
+
+TEST(ConfigHash, JobMemAndProfileKnobsChangeTheHash) {
+  cluster::JobConfig job;
+  const std::string job_base = config_hash_hex(cluster::to_config_json(job));
+  job.nodes += 1;
+  EXPECT_NE(config_hash_hex(cluster::to_config_json(job)), job_base);
+  job.nodes -= 1;
+  job.ranks_per_node += 1;
+  EXPECT_NE(config_hash_hex(cluster::to_config_json(job)), job_base);
+
+  cluster::MemEnvModel mem;
+  const std::string mem_base = config_hash_hex(cluster::to_config_json(mem));
+  mem.large_page_coverage = 0.5;
+  EXPECT_NE(config_hash_hex(cluster::to_config_json(mem)), mem_base);
+
+  noise::AnalyticNoiseProfile profile = noise::ofp_linux_profile();
+  const std::string prof_base =
+      config_hash_hex(cluster::to_config_json(profile));
+  ASSERT_FALSE(profile.sources.empty());
+  profile.sources[0].mean_interval = profile.sources[0].mean_interval * 2;
+  EXPECT_NE(config_hash_hex(cluster::to_config_json(profile)), prof_base);
+}
+
+TEST(ConfigHash, EnvironmentsAndBenchPlansSeparateCleanly) {
+  const auto linux_env = cluster::make_fugaku_linux_env();
+  const auto lwk_env = cluster::make_fugaku_mckernel_env();
+  EXPECT_NE(config_hash_hex(cluster::to_config_json(linux_env)),
+            config_hash_hex(cluster::to_config_json(lwk_env)));
+
+  // Countermeasure changes surface through the noise-profile source list
+  // even though the Countermeasures struct is gone by environment time.
+  noise::Countermeasures cm;
+  cm.bind_daemons = !cm.bind_daemons;
+  EXPECT_NE(
+      config_hash_hex(cluster::to_config_json(cluster::make_fugaku_linux_env(
+          cm))),
+      config_hash_hex(cluster::to_config_json(linux_env)));
+
+  cluster::JobConfig job;
+  const std::string plan_a = config_hash_hex(
+      cluster::bench_plan_config_json("amg", linux_env, job, Seed{1}));
+  EXPECT_NE(plan_a,
+            config_hash_hex(cluster::bench_plan_config_json(
+                "amg", linux_env, job, Seed{2})));
+  EXPECT_NE(plan_a,
+            config_hash_hex(cluster::bench_plan_config_json(
+                "minife", linux_env, job, Seed{1})));
+}
+
+}  // namespace
+}  // namespace hpcos

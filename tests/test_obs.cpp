@@ -290,10 +290,9 @@ TEST(BenchReport, ValidatorRejectsNaNAndSchemaViolations) {
   nan_report.add_metric("bad", "us", std::nan(""));
   // Direct document: the value is a non-finite number.
   EXPECT_NE(obs::validate_bench_report(nan_report.to_json()), "");
-  // After serialization NaN becomes null and still fails validation.
-  EXPECT_NE(obs::validate_bench_report(
-                JsonValue::parse(nan_report.to_json().dump())),
-            "");
+  // Serialization refuses non-finite numbers outright with a clear error
+  // (json_format_number) — they can no longer silently become null.
+  EXPECT_THROW((void)nan_report.to_json().dump(), std::runtime_error);
 
   obs::BenchReport empty("empty_bench", false);
   EXPECT_NE(obs::validate_bench_report(empty.to_json()), "");

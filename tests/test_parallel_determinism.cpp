@@ -16,6 +16,7 @@
 #include <string>
 
 #include "cluster/bsp.h"
+#include "cluster/config_json.h"
 #include "cluster/fwq_campaign.h"
 #include "cluster/osenv.h"
 #include "common/histogram.h"
@@ -24,7 +25,9 @@
 #include "common/sketch.h"
 #include "common/stats.h"
 #include "noise/profiles.h"
+#include "obs/bench_report.h"
 #include "obs/prof/prof.h"
+#include "obs/runlog.h"
 
 namespace hpcos::cluster {
 namespace {
@@ -109,6 +112,47 @@ TEST(ParallelDeterminism, JitteredAllCoresCampaignIdenticalAcrossThreads) {
   auto zero = campaign_config(1);
   zero.all_cores_jitter_sigma = 0.0;
   expect_identical(run_fwq_campaign(profile, zero), baseline);
+}
+
+TEST(ParallelDeterminism, RunLedgerDeterministicLineIdenticalAcrossThreads) {
+  // The run ledger's determinism contract (obs/runlog): everything outside
+  // the "host" member is bit-identical across host thread counts. Build a
+  // full record — config hash, metric snapshot, deterministic line — from
+  // the same campaign run at 1/2/8 threads with deliberately different
+  // host-side inputs (timestamp, host.* metrics) and require byte
+  // equality of the deterministic half.
+  const auto profile = noise::ofp_linux_profile();
+  auto record_at = [&](std::size_t threads, double fake_wall_s,
+                       const std::string& timestamp) {
+    auto cfg = campaign_config(threads);
+    const auto result = run_fwq_campaign(profile, cfg);
+    obs::BenchReport report("fwq_determinism", /*quick=*/true,
+                            cfg.seed.value);
+    report.add_metric("fwq.noise_rate", "ratio", result.stats.noise_rate);
+    report.add_metric("fwq.t_max_ms", "ms", result.stats.t_max.to_ms());
+    report.add_metric("fwq.p99_us", "us", result.cdf.quantile(0.99));
+    report.add_metric("host.wall_s", "s", fake_wall_s);  // host-dependent
+    report.set_config(to_config_json(cfg));
+    return obs::make_run_record(report, report.config(), timestamp);
+  };
+  const JsonValue serial = record_at(1, 0.5, "2026-08-08T00:00:00Z");
+  const JsonValue two = record_at(2, 1.5, "2026-08-08T01:00:00Z");
+  const JsonValue eight = record_at(8, 2.5, "2026-08-08T02:00:00Z");
+
+  // config_hash: `threads` is a host-execution knob and never reaches it.
+  EXPECT_EQ(serial.at("config_hash").as_string(),
+            two.at("config_hash").as_string());
+  EXPECT_EQ(serial.at("config_hash").as_string(),
+            eight.at("config_hash").as_string());
+  // Deterministic line: byte-identical despite different host sections.
+  const std::string line = obs::deterministic_line(serial);
+  EXPECT_EQ(line, obs::deterministic_line(two));
+  EXPECT_EQ(line, obs::deterministic_line(eight));
+  EXPECT_EQ(obs::deterministic_digest_hex(serial),
+            obs::deterministic_digest_hex(eight));
+  // The full lines DO differ (host sections disagree) — the split is
+  // doing real work.
+  EXPECT_NE(obs::run_record_line(serial), obs::run_record_line(eight));
 }
 
 TEST(ParallelDeterminism, TimelineIdenticalAcrossThreadCounts) {

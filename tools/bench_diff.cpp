@@ -15,7 +15,6 @@
 // to accept a perf change).
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "common/table.h"
@@ -26,14 +25,6 @@ namespace {
 
 using hpcos::JsonValue;
 using hpcos::TextTable;
-
-JsonValue load_json(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return JsonValue::parse(buf.str());
-}
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
@@ -68,7 +59,7 @@ int main(int argc, char** argv) {
   if (current_path.empty() || baseline_path.empty()) return usage(argv[0]);
 
   try {
-    const JsonValue current = load_json(current_path);
+    const JsonValue current = hpcos::obs::load_json_file(current_path);
     if (const std::string err = hpcos::obs::validate_bench_report(current);
         !err.empty()) {
       std::cerr << "bench_diff: current report invalid: " << err << "\n";
@@ -93,9 +84,9 @@ int main(int argc, char** argv) {
 
     hpcos::obs::DiffPolicy policy;
     if (!tolerances_path.empty()) {
-      policy = hpcos::obs::parse_tolerance_policy(load_json(tolerances_path));
+      policy = hpcos::obs::load_tolerance_policy(tolerances_path);
     }
-    const JsonValue baseline = load_json(baseline_path);
+    const JsonValue baseline = hpcos::obs::load_json_file(baseline_path);
     const hpcos::obs::DiffResult result =
         hpcos::obs::diff_reports(current, baseline, policy);
 

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/config_json.h"
 #include "cluster/fwq_campaign.h"
 #include "cluster/node.h"
 #include "common/ascii_plot.h"
@@ -105,6 +106,9 @@ int main(int argc, char** argv) {
   config.duration_per_core = opts.quick ? SimTime::sec(60) : SimTime::sec(600);
   config.seed = seed;
   config.timeline = true;
+  // Ledger identity: the campaign config itself (semantic knobs only —
+  // host thread count never reaches the hash).
+  report.set_config(cluster::to_config_json(config));
   const auto campaign = cluster::run_fwq_campaign(profile, config);
   const auto ledger = obs::attrib::build_ledger(campaign, profile, config);
   const auto& timeline = campaign.timeline;
