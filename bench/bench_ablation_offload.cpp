@@ -109,7 +109,7 @@ BENCHMARK(BM_StagRegistrationPicoDriver)->Unit(benchmark::kMillisecond);
 // remaining argv goes to google-benchmark as usual.
 int main(int argc, char** argv) {
   const auto opts = hpcos::obs::parse_bench_options(argc, argv);
-  if (!opts.json_path.empty() || opts.quick) {
+  if (!opts.sinks.json_path.empty() || opts.quick) {
     hpcos::obs::BenchReport report("bench_ablation_offload", opts.quick, 11);
     const int count = opts.quick ? 20 : 100;
     const hpcos::os::SyscallArgs reg{

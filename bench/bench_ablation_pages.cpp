@@ -72,7 +72,7 @@ BENCHMARK(BM_PagePolicy)->Apply(PageArgs);
 int main(int argc, char** argv) {
   using namespace hpcos;
   const auto opts = obs::parse_bench_options(argc, argv);
-  if (!opts.json_path.empty() || opts.quick) {
+  if (!opts.sinks.json_path.empty() || opts.quick) {
     obs::BenchReport report("bench_ablation_pages", opts.quick);
     const os::KernelCosts costs;
     const std::uint64_t ws = 2048ull << 20;  // the mid-size working set

@@ -97,7 +97,7 @@ BENCHMARK(BM_TlbiStrategy)
 // goes to google-benchmark as usual.
 int main(int argc, char** argv) {
   const auto opts = hpcos::obs::parse_bench_options(argc, argv);
-  if (!opts.json_path.empty() || opts.quick) {
+  if (!opts.sinks.json_path.empty() || opts.quick) {
     hpcos::obs::BenchReport report("bench_ablation_tlbi", opts.quick, 3);
     const std::uint64_t flushes = opts.quick ? 100 : 10000;
     const struct {

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/live/counters.h"
 #include "obs/prof/mem.h"
 #include "obs/prof/prof.h"
 
@@ -349,6 +350,10 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
   // (the work-stealing scheduler executes both without serial fallback).
   obs::prof::memory_counter("fwq.shards")
       ->add(num_shards * sizeof(ShardAccumulator));
+  // Live progress feed: shards are the campaign's completion units, and
+  // the iterations a shard materialized are its event count. Statistics
+  // only — the counters never feed back into any result.
+  if (obs::live::enabled()) obs::live::add_units_total(num_shards);
   parallel_for(
       num_shards,
       [&](std::size_t shard) {
@@ -361,6 +366,10 @@ FwqCampaignResult run_fwq_campaign(const noise::AnalyticNoiseProfile& profile,
         for (std::int64_t n = begin; n < end; ++n) {
           simulate_node(profile, config, iters_per_node, source_slot, n,
                         root.split(static_cast<std::uint64_t>(n)), acc);
+        }
+        if (obs::live::enabled()) {
+          obs::live::add_units_done(1);
+          obs::live::add_events(acc.iterations);
         }
       },
       config.threads);

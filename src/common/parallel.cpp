@@ -231,6 +231,17 @@ class Scheduler {
     return out;
   }
 
+  std::vector<std::size_t> deque_depths() const {
+    // Live backlog snapshot for the stall watchdog: approx_depth is two
+    // relaxed loads per slot (telemetry, never control flow), so this is
+    // safe to call from a watchdog thread while the slots run.
+    std::vector<std::size_t> out(nworkers_ + 1);
+    for (std::size_t i = 0; i <= nworkers_; ++i) {
+      out[i] = deques_[i].approx_depth();
+    }
+    return out;
+  }
+
   void set_timeline(bool enabled) {
     std::lock_guard<std::mutex> lock(timeline_mutex_);
     park_events_.clear();
@@ -564,6 +575,10 @@ ParallelStats parallel_stats() { return Scheduler::instance().stats(); }
 
 std::vector<WorkerHealth> parallel_worker_health() {
   return Scheduler::instance().worker_health();
+}
+
+std::vector<std::size_t> parallel_deque_depths() {
+  return Scheduler::instance().deque_depths();
 }
 
 void set_scheduler_timeline(bool enabled) {

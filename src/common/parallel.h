@@ -76,6 +76,12 @@ struct WorkerHealth {
 };
 std::vector<WorkerHealth> parallel_worker_health();
 
+// Instantaneous per-slot deque depths (index 0 = caller slot). Two
+// relaxed loads per slot — a near-consistent snapshot for live
+// diagnostics (the stall watchdog's "where is the backlog" view), never
+// for control flow.
+std::vector<std::size_t> parallel_deque_depths();
+
 // Optional scheduler timeline capture (off by default). When enabled,
 // park intervals and publish-time deque-depth samples are appended to
 // bounded global rings (host steady-clock timestamps, ns). Recording

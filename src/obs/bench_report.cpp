@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "common/parallel.h"
+#include "obs/live/live.h"
 #include "obs/prof/prof.h"
 #include "obs/prof_report.h"
 #include "obs/runlog.h"
@@ -200,50 +201,141 @@ std::string validate_bench_report(const JsonValue& doc) {
   return {};
 }
 
+namespace {
+
+// Default watchdog threshold when --watchdog is given bare.
+constexpr double kDefaultWatchdogS = 30.0;
+
+std::string argv0_basename(int argc, char** argv) {
+  if (argc <= 0 || argv[0] == nullptr || argv[0][0] == '\0') return "bench";
+  std::string name = argv[0];
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name.empty() ? "bench" : name;
+}
+
+}  // namespace
+
 BenchOptions parse_bench_options(int argc, char** argv) {
   BenchOptions opts;
   if (argc > 0) opts.remaining.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--quick") == 0) {
       opts.quick = true;
-    } else if (std::strcmp(argv[i], "--profile") == 0) {
-      opts.profile = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      opts.sinks.profile = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
       if (i + 1 >= argc) {
         std::cerr << "--json requires a path argument\n";
         std::exit(2);
       }
-      opts.json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--ledger") == 0) {
+      opts.sinks.json_path = argv[++i];
+    } else if (std::strcmp(arg, "--ledger") == 0) {
       if (i + 1 >= argc) {
         std::cerr << "--ledger requires a path argument\n";
         std::exit(2);
       }
-      opts.ledger_path = argv[++i];
+      opts.sinks.ledger_path = argv[++i];
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      opts.sinks.progress = true;
+    } else if (std::strncmp(arg, "--progress=", 11) == 0) {
+      opts.sinks.progress = true;
+      opts.sinks.progress_interval_ms = std::atoi(arg + 11);
+      if (opts.sinks.progress_interval_ms <= 0) {
+        std::cerr << "--progress=<interval_ms> requires a positive integer\n";
+        std::exit(2);
+      }
+    } else if (std::strcmp(arg, "--progress-file") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--progress-file requires a path argument\n";
+        std::exit(2);
+      }
+      opts.sinks.heartbeat_path = argv[++i];
+      opts.sinks.progress = true;
+    } else if (std::strcmp(arg, "--watchdog") == 0) {
+      opts.sinks.watchdog_stall_s = kDefaultWatchdogS;
+    } else if (std::strncmp(arg, "--watchdog=", 11) == 0) {
+      opts.sinks.watchdog_stall_s = std::atof(arg + 11);
+      if (!(opts.sinks.watchdog_stall_s > 0.0)) {
+        std::cerr << "--watchdog=<seconds> requires a positive number\n";
+        std::exit(2);
+      }
+    } else if (std::strcmp(arg, "--watchdog-abort") == 0) {
+      opts.sinks.watchdog_abort = true;
     } else {
       opts.remaining.push_back(argv[i]);
     }
   }
-  // Arm the profiler here so every bench target honors --profile without
-  // per-target plumbing; the scopes themselves are already in the code.
-  if (opts.profile) prof::set_enabled(true);
+  if (opts.sinks.watchdog_abort && opts.sinks.watchdog_stall_s <= 0.0) {
+    opts.sinks.watchdog_stall_s = kDefaultWatchdogS;
+  }
+  // Arm the sinks here so every bench target honors the flags without
+  // per-target plumbing; the scopes/counters are already in the code.
+  if (opts.sinks.profile) prof::set_enabled(true);
+  if (opts.sinks.progress || opts.sinks.watchdog_stall_s > 0.0) {
+    live::ProgressConfig cfg;
+    cfg.target = argv0_basename(argc, argv);
+    cfg.interval_ms = opts.sinks.progress_interval_ms;
+    if (opts.sinks.progress) {
+      if (opts.sinks.heartbeat_path.empty()) {
+        opts.sinks.heartbeat_path = cfg.target + ".heartbeat.jsonl";
+      }
+      cfg.jsonl_path = opts.sinks.heartbeat_path;
+    }
+    cfg.stderr_line = opts.sinks.progress;
+    cfg.stall_after_s = opts.sinks.watchdog_stall_s;
+    cfg.abort_on_stall = opts.sinks.watchdog_abort;
+    live::start_global_meter(std::move(cfg));
+  }
   return opts;
 }
 
 void maybe_write_report(BenchReport& report, const BenchOptions& opts) {
-  if (opts.profile) {
+  // Stop the live meter first: its final heartbeat closes the stream and
+  // the whole-run aggregates become host.* metrics (routed into the
+  // record's host half by make_run_record; the gate/trend tolerances
+  // ignore host.progress.* / host.watchdog.*, so wall-clock throughput
+  // is tracked but never gated).
+  const live::MeterSummary progress = live::stop_global_meter();
+  if (progress.active) {
+    const live::HeartbeatAggregates& a = progress.agg;
+    report.add_metric("host.progress.heartbeats.count", "count",
+                      static_cast<double>(a.records));
+    report.add_metric("host.progress.events.total", "count",
+                      static_cast<double>(a.events_total));
+    report.add_metric("host.progress.events_per_sec.mean", "rate",
+                      a.events_per_sec_mean);
+    report.add_metric("host.progress.events_per_sec.max", "rate",
+                      a.events_per_sec_max);
+    report.add_metric("host.progress.units.done", "count",
+                      static_cast<double>(a.units_done));
+    report.add_metric("host.progress.units.total", "count",
+                      static_cast<double>(a.units_total));
+    report.add_metric("host.watchdog.stalls.count", "count",
+                      static_cast<double>(a.stalls));
+    std::cout << "[progress] " << a.records << " heartbeats, "
+              << a.events_total << " events in " << a.elapsed_s
+              << " s (mean " << a.events_per_sec_mean << " ev/s, max "
+              << a.events_per_sec_max << " ev/s), stalls " << a.stalls;
+    if (!opts.sinks.heartbeat_path.empty()) {
+      std::cout << " -> " << opts.sinks.heartbeat_path;
+    }
+    std::cout << "\n";
+  }
+  if (opts.sinks.profile) {
     const prof::Profile profile = prof::collect();
     add_profile_metrics(report, profile);
     add_memory_metrics(report);
     std::cout << "\n=== host-side hotspots (--profile) ===\n";
     print_profile(std::cout, profile);
   }
-  if (!opts.json_path.empty()) {
-    report.write(opts.json_path);
+  if (!opts.sinks.json_path.empty()) {
+    report.write(opts.sinks.json_path);
     std::cout << "[bench-report] wrote " << report.metric_count()
-              << " metrics to " << opts.json_path << "\n";
+              << " metrics to " << opts.sinks.json_path << "\n";
   }
-  if (!opts.ledger_path.empty()) {
+  if (!opts.sinks.ledger_path.empty()) {
     // Config fallback when the target attached none: the bench identity.
     // Targets with a real simulation config call report.set_config() and
     // get exact-memoization hashes instead.
@@ -255,15 +347,15 @@ void maybe_write_report(BenchReport& report, const BenchOptions& opts) {
       config.set("quick", report.quick());
       config.set("seed", report.seed());
     }
-    const prof::Profile profile = opts.profile ? prof::collect()
-                                               : prof::Profile{};
+    const prof::Profile profile = opts.sinks.profile ? prof::collect()
+                                                     : prof::Profile{};
     const JsonValue record = make_run_record(
         report, config, ledger_timestamp(),
-        opts.profile ? &profile : nullptr);
-    append_run_record(opts.ledger_path, record);
+        opts.sinks.profile ? &profile : nullptr);
+    append_run_record(opts.sinks.ledger_path, record);
     std::cout << "[run-ledger] appended " << report.bench_name()
               << " (config " << record.at("config_hash").as_string()
-              << ") to " << opts.ledger_path << "\n";
+              << ") to " << opts.sinks.ledger_path << "\n";
   }
 }
 

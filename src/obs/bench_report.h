@@ -102,36 +102,61 @@ class BenchReport {
 // violation (missing key, wrong schema, empty metrics, non-finite value).
 std::string validate_bench_report(const JsonValue& doc);
 
+// Where a bench run's results and telemetry flow — every output sink the
+// shared flag plumbing controls, in one struct so parse_bench_options
+// fills it and maybe_write_report consumes it without each target (or
+// each new sink) threading more fields through BenchOptions.
+struct BenchSinks {
+  // --profile: host-side self-profiler (obs/prof). maybe_write_report
+  // appends the collected hotspot metrics (prof.*.count gated,
+  // host.prof.* / host.mem.* ignore-listed) and prints the ranked table.
+  bool profile = false;
+  // --json <path>: write the BenchReport document there.
+  std::string json_path;
+  // --ledger <path>: append one run record (obs/runlog) — config hash,
+  // metric snapshot, series digests, host summary.
+  std::string ledger_path;
+  // --progress[=interval_ms]: run a live ProgressMeter (obs/live) for
+  // the duration of the target — heartbeat JSONL stream plus an ASCII
+  // line per tick on stderr; final aggregates land in the report under
+  // host.progress.* (ignore-listed by the gate/trend tolerances).
+  bool progress = false;
+  int progress_interval_ms = 1000;
+  // --progress-file <path>: heartbeat stream destination. Defaults to
+  // "<argv0 basename>.heartbeat.jsonl" in the working directory (the
+  // pattern is gitignored).
+  std::string heartbeat_path;
+  // --watchdog[=seconds]: arm the stall watchdog (implies --progress
+  // machinery); when event progress halts this long, dump a diagnostic
+  // snapshot to stderr. Default threshold 30 s.
+  double watchdog_stall_s = 0.0;
+  // --watchdog-abort: escalate a detected stall to std::_Exit(70) so CI
+  // hangs become diagnosable failures instead of timeouts.
+  bool watchdog_abort = false;
+};
+
 // Shared bench-target command line: every bench main() calls this first.
-//   --json <path>   emit a BenchReport to <path>
-//   --quick         shrink the run for the bench_smoke ctest job
-//   --profile       enable the host-side self-profiler (obs/prof) for
-//                   the run; maybe_write_report then appends the
-//                   collected hotspot metrics (prof.*.count gated,
-//                   host.prof.* / host.mem.* ignore-listed) to the
-//                   report and prints the ranked table to stdout
-//   --ledger <path> append one run record (obs/runlog) for this run to
-//                   the JSONL ledger at <path> — config hash, metric
-//                   snapshot, series digests, host summary. Handled
-//                   entirely in maybe_write_report, so every bench
-//                   target and analysis CLI ledgers with zero
-//                   per-target plumbing (mirrors --profile).
-// Unknown arguments are left for the target to interpret (the google-
-// benchmark ablations forward the remainder to benchmark::Initialize).
+//   --quick                  shrink the run for the bench_smoke ctest job
+//   --json/--profile/--ledger/--progress[=ms]/--progress-file/
+//   --watchdog[=s]/--watchdog-abort   -> see BenchSinks
+// All sinks are handled entirely in parse_bench_options (arming) and
+// maybe_write_report (draining), so every bench target and analysis CLI
+// gets them with zero per-target plumbing. Unknown arguments are left
+// for the target to interpret (the google-benchmark ablations forward
+// the remainder to benchmark::Initialize).
 struct BenchOptions {
   bool quick = false;
-  bool profile = false;
-  std::string json_path;
-  std::string ledger_path;
+  BenchSinks sinks;
   // argv with the recognized flags removed (argv[0] preserved).
   std::vector<char*> remaining;
 };
 BenchOptions parse_bench_options(int argc, char** argv);
 
-// Emit the report when --json was given; prints a one-line confirmation
-// to stdout. No-op when json_path is empty (except that --profile still
-// prints the hotspot table). Non-const: the profiler section is appended
-// here so every bench target gets it without per-target plumbing.
+// Drain the sinks: stop the progress meter (folding host.progress.* /
+// host.watchdog.* aggregates into the report), append the profiler
+// section, write the JSON report, append the ledger record. No-op for
+// sinks that weren't requested. Non-const: sink sections are appended
+// here so every bench target gets them without per-target plumbing.
 void maybe_write_report(BenchReport& report, const BenchOptions& opts);
 
 }  // namespace hpcos::obs

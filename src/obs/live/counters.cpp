@@ -1,0 +1,85 @@
+#include "obs/live/counters.h"
+
+#include <atomic>
+
+namespace hpcos::obs::live {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_events{0};
+std::atomic<std::uint64_t> g_units_total{0};
+std::atomic<std::uint64_t> g_units_done{0};
+std::atomic<std::int64_t> g_sim_time_ns{0};
+std::atomic<std::size_t> g_des_depth{0};
+std::atomic<std::size_t> g_des_max_depth{0};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void reset_counters() {
+  g_events.store(0, std::memory_order_relaxed);
+  g_units_total.store(0, std::memory_order_relaxed);
+  g_units_done.store(0, std::memory_order_relaxed);
+  g_sim_time_ns.store(0, std::memory_order_relaxed);
+  g_des_depth.store(0, std::memory_order_relaxed);
+  g_des_max_depth.store(0, std::memory_order_relaxed);
+}
+
+void add_events(std::uint64_t n) {
+  g_events.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t events() { return g_events.load(std::memory_order_relaxed); }
+
+void add_units_total(std::uint64_t n) {
+  g_units_total.fetch_add(n, std::memory_order_relaxed);
+}
+
+void add_units_done(std::uint64_t n) {
+  g_units_done.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t units_total() {
+  return g_units_total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t units_done() {
+  return g_units_done.load(std::memory_order_relaxed);
+}
+
+void note_sim_time_ns(std::int64_t t_ns) {
+  // Monotonic max: several simulators may report, and the heartbeat wants
+  // the furthest virtual-time position any of them reached.
+  std::int64_t prev = g_sim_time_ns.load(std::memory_order_relaxed);
+  while (prev < t_ns && !g_sim_time_ns.compare_exchange_weak(
+                            prev, t_ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::int64_t sim_time_ns() {
+  return g_sim_time_ns.load(std::memory_order_relaxed);
+}
+
+void note_des_depth(std::size_t depth) {
+  g_des_depth.store(depth, std::memory_order_relaxed);
+  std::size_t prev = g_des_max_depth.load(std::memory_order_relaxed);
+  while (prev < depth && !g_des_max_depth.compare_exchange_weak(
+                             prev, depth, std::memory_order_relaxed)) {
+  }
+}
+
+std::size_t des_depth() {
+  return g_des_depth.load(std::memory_order_relaxed);
+}
+
+std::size_t des_max_depth() {
+  return g_des_max_depth.load(std::memory_order_relaxed);
+}
+
+}  // namespace hpcos::obs::live

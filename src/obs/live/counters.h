@@ -1,0 +1,69 @@
+// Live progress counters: the in-flight face of a running simulation.
+//
+// Every observability layer before this one (Registry, spans, series,
+// profiler, run ledger) is post-hoc: nothing can be asked until the run
+// exits. This hub is the opposite — a handful of global gauges that the
+// hot layers bump while they run and that the ProgressMeter (obs/live/
+// live.h) samples from its own thread to emit heartbeats and detect
+// stalls.
+//
+// Cost discipline (same as the Registry and the profiler): one relaxed
+// bool load per instrumentation site while disabled; relaxed atomic adds
+// while enabled. The counters are statistics, never synchronization, and
+// never feed deterministic outputs — enabling them must not perturb any
+// gated metric (bench_fig4 runs with and without --progress produce
+// bit-identical reports).
+//
+// Layering: this translation unit is dependency-free (std only) and built
+// as its own bottom-level library (hpcos_live_core), because the writers
+// sit below hpcos_obs — sim/simulator counts executed events and
+// cluster/fwq_campaign counts finished shards — and hpcos_sim cannot link
+// hpcos_obs without a cycle. The sampler side (ProgressMeter, heartbeat
+// schema) lives in hpcos_obs proper.
+//
+// Threading: writers are the simulation/worker threads (single or many);
+// the reader is the meter thread. All accessors are relaxed atomics, so
+// cross-thread reads are near-consistent snapshots — exactly what a
+// heartbeat needs and ThreadSanitizer-clean by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hpcos::obs::live {
+
+// Global enable switch. Armed by the ProgressMeter (or tests); one
+// relaxed load per instrumentation site while off.
+bool enabled();
+void set_enabled(bool on);
+
+// Zero every counter and gauge below. Call while no simulation is
+// running (meter start / test setup).
+void reset_counters();
+
+// Fine-grained work counter: DES events executed, campaign iterations
+// materialized. The heartbeat derives events_per_sec from its deltas and
+// the watchdog treats "no change" as the primary stall signal.
+void add_events(std::uint64_t n);
+std::uint64_t events();
+
+// Coarse completion units (campaign shards, bench plan points): the
+// numerator/denominator of the heartbeat's ETA. Totals accumulate — a
+// bench running five campaigns contributes five shard batches.
+void add_units_total(std::uint64_t n);
+void add_units_done(std::uint64_t n);
+std::uint64_t units_total();
+std::uint64_t units_done();
+
+// Simulated-time position (monotonic max across all simulators that
+// report). Updated at a coarse cadence from the DES loop.
+void note_sim_time_ns(std::int64_t t_ns);
+std::int64_t sim_time_ns();
+
+// DES queue-depth gauges: last reported depth and the maximum reported
+// since reset. Sampled at the same coarse cadence as the sim time.
+void note_des_depth(std::size_t depth);
+std::size_t des_depth();
+std::size_t des_max_depth();
+
+}  // namespace hpcos::obs::live

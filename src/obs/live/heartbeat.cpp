@@ -1,0 +1,242 @@
+#include "obs/live/heartbeat.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hpcos::obs::live {
+
+namespace {
+
+bool is_uint_field(const JsonValue& v) {
+  if (!v.is_number()) return false;
+  const double d = v.as_number();
+  return d >= 0.0 && std::floor(d) == d;
+}
+
+std::string fmt1(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+std::string fmt2(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+// 41345678 -> "41.3M": compact magnitudes for the one-line rendering.
+std::string human_count(double v) {
+  const char* suffix = "";
+  if (v >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  return (*suffix ? fmt2(v) : fmt1(v)) + std::string(suffix);
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  const double mib = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  if (mib >= 1024.0) return fmt2(mib / 1024.0) + "GiB";
+  return fmt1(mib) + "MiB";
+}
+
+}  // namespace
+
+JsonValue heartbeat_to_json(const Heartbeat& hb) {
+  JsonValue rec = JsonValue::object();
+  rec.set("schema", kHeartbeatSchema);
+  rec.set("target", hb.target);
+  rec.set("kind", hb.kind);
+  rec.set("seq", hb.seq);
+  rec.set("t_ms", hb.t_ms);
+  rec.set("events", hb.events);
+  rec.set("events_per_sec", hb.events_per_sec);
+  rec.set("sim_time_us", hb.sim_time_us);
+  rec.set("units_done", hb.units_done);
+  rec.set("units_total", hb.units_total);
+  rec.set("eta_s", hb.eta_s);
+  JsonValue des = JsonValue::object();
+  des.set("depth", static_cast<std::uint64_t>(hb.des_depth));
+  des.set("max_depth", static_cast<std::uint64_t>(hb.des_max_depth));
+  rec.set("des", std::move(des));
+  JsonValue sched = JsonValue::object();
+  sched.set("chunks", hb.sched_chunks);
+  sched.set("steals", hb.sched_steals);
+  sched.set("parks", hb.sched_parks);
+  sched.set("max_depth", hb.sched_max_depth);
+  rec.set("sched", std::move(sched));
+  rec.set("rss_bytes", hb.rss_bytes);
+  rec.set("peak_rss_bytes", hb.peak_rss_bytes);
+  rec.set("stalls", hb.stalls);
+  return rec;
+}
+
+std::string validate_heartbeat_record(const JsonValue& record) {
+  if (!record.is_object()) return "heartbeat record must be a JSON object";
+  const JsonValue* schema = record.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return "missing string field \"schema\"";
+  }
+  if (schema->as_string() != kHeartbeatSchema) {
+    return "unknown schema \"" + schema->as_string() + "\" (expected " +
+           std::string(kHeartbeatSchema) + ")";
+  }
+  const JsonValue* target = record.find("target");
+  if (target == nullptr || !target->is_string() ||
+      target->as_string().empty()) {
+    return "missing non-empty string field \"target\"";
+  }
+  const JsonValue* kind = record.find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    return "missing string field \"kind\"";
+  }
+  const std::string& k = kind->as_string();
+  if (k != "tick" && k != "stall" && k != "final") {
+    return "field \"kind\" must be \"tick\", \"stall\", or \"final\" (got \"" +
+           k + "\")";
+  }
+  for (const char* name : {"seq", "events", "units_done", "units_total",
+                           "rss_bytes", "peak_rss_bytes", "stalls"}) {
+    const JsonValue* v = record.find(name);
+    if (v == nullptr || !is_uint_field(*v)) {
+      return "missing non-negative integer field \"" + std::string(name) +
+             "\"";
+    }
+  }
+  for (const char* name : {"t_ms", "events_per_sec", "sim_time_us", "eta_s"}) {
+    const JsonValue* v = record.find(name);
+    if (v == nullptr || !v->is_number() || v->as_number() < 0.0) {
+      return "missing non-negative number field \"" + std::string(name) + "\"";
+    }
+  }
+  for (const char* section : {"des", "sched"}) {
+    const JsonValue* sec = record.find(section);
+    if (sec == nullptr || !sec->is_object()) {
+      return "missing object field \"" + std::string(section) + "\"";
+    }
+    for (const auto& [key, value] : sec->members()) {
+      if (!is_uint_field(value)) {
+        return "field \"" + std::string(section) + "." + key +
+               "\" must be a non-negative integer";
+      }
+    }
+    if (sec->find("depth") == nullptr && sec->find("max_depth") == nullptr &&
+        sec->find("chunks") == nullptr) {
+      return "object field \"" + std::string(section) + "\" is empty";
+    }
+  }
+  return "";
+}
+
+std::string heartbeat_line(const JsonValue& record) {
+  const std::string err = validate_heartbeat_record(record);
+  if (!err.empty()) {
+    throw std::runtime_error("invalid heartbeat record: " + err);
+  }
+  return record.dump();
+}
+
+std::string heartbeat_ascii(const Heartbeat& hb) {
+  std::ostringstream out;
+  out << "[hb " << hb.target << "] ";
+  if (hb.kind != "tick") out << hb.kind << " ";
+  out << fmt1(hb.t_ms / 1000.0) << "s ev="
+      << human_count(static_cast<double>(hb.events)) << " ("
+      << human_count(hb.events_per_sec) << "/s) sim="
+      << fmt2(hb.sim_time_us / 1e6) << "s";
+  if (hb.units_total > 0) {
+    out << " units " << hb.units_done << "/" << hb.units_total;
+    if (hb.eta_s > 0.0) out << " eta " << fmt1(hb.eta_s) << "s";
+  }
+  out << " rss " << human_bytes(hb.rss_bytes);
+  if (hb.stalls > 0) out << " stalls=" << hb.stalls;
+  return out.str();
+}
+
+HeartbeatLog parse_heartbeat_log(const std::string& text, bool strict) {
+  HeartbeatLog log;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    ++line_no;
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    // Blank lines are tolerated in both modes: a torn final write leaves
+    // one, and it carries no information either way.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string err;
+    try {
+      JsonValue rec = JsonValue::parse(line);
+      err = validate_heartbeat_record(rec);
+      if (err.empty()) {
+        log.records.push_back(std::move(rec));
+        continue;
+      }
+    } catch (const JsonParseError& e) {
+      err = e.what();
+    }
+    if (strict) {
+      throw std::runtime_error("heartbeat line " + std::to_string(line_no) +
+                               ": " + err);
+    }
+    ++log.skipped;
+  }
+  return log;
+}
+
+HeartbeatLog read_heartbeat_log(const std::string& path, bool strict) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (strict) {
+      throw std::runtime_error("cannot open heartbeat log: " + path);
+    }
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_heartbeat_log(buf.str(), strict);
+}
+
+HeartbeatAggregates aggregate_heartbeats(
+    const std::vector<JsonValue>& records) {
+  HeartbeatAggregates agg;
+  for (const JsonValue& rec : records) {
+    ++agg.records;
+    const std::string& kind = rec.at("kind").as_string();
+    if (kind == "tick") ++agg.ticks;
+    agg.stalls = std::max(
+        agg.stalls, static_cast<std::uint64_t>(rec.at("stalls").as_number()));
+    // Cumulative fields: the stream's last word wins.
+    agg.events_total = static_cast<std::uint64_t>(rec.at("events").as_number());
+    agg.elapsed_s = std::max(agg.elapsed_s, rec.at("t_ms").as_number() / 1e3);
+    agg.events_per_sec_max =
+        std::max(agg.events_per_sec_max, rec.at("events_per_sec").as_number());
+    agg.units_done =
+        static_cast<std::uint64_t>(rec.at("units_done").as_number());
+    agg.units_total =
+        static_cast<std::uint64_t>(rec.at("units_total").as_number());
+    agg.peak_rss_bytes = std::max(
+        agg.peak_rss_bytes,
+        static_cast<std::uint64_t>(rec.at("peak_rss_bytes").as_number()));
+  }
+  if (agg.elapsed_s > 0.0) {
+    agg.events_per_sec_mean =
+        static_cast<double>(agg.events_total) / agg.elapsed_s;
+  }
+  return agg;
+}
+
+}  // namespace hpcos::obs::live

@@ -1,0 +1,83 @@
+// Deterministic sampled span tracing for full-scale runs.
+//
+// Full-duration span tracing scales its memory with nodes × duration:
+// at the paper's 158,976-node full-machine scale even a modest per-node
+// ring is hundreds of GiB of TraceRecords. The sampler decouples the two
+// costs:
+//
+//   * Distributions stay EXACT and bounded: every root span's duration
+//     feeds a per-label QuantileSketch (log-bucketed, mergeable), so
+//     p50/p99/p999 latency per span label cover the full population at
+//     O(buckets) memory no matter how long the run is.
+//   * Raw trees are SAMPLED: each root is kept with probability `rate`
+//     by a per-(seed, node) RngStream, optionally thinned further by an
+//     Algorithm-R reservoir of at most `max_roots_per_node` roots; a
+//     kept root brings its whole tree (children and all), so sampled
+//     records remain valid SpanForest input for attribution and Chrome
+//     export.
+//
+// Determinism: sample_node() is a pure function of (config, node_index,
+// records) — the RNG is derived from (seed, node) alone, never from a
+// global counter or host state — and sketch merge is exactly
+// associative. Sampling node outputs in parallel and aggregating them in
+// node-index order therefore yields bit-identical results for any host
+// thread count, the same contract as every campaign merge (DESIGN §6).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sketch.h"
+#include "sim/trace.h"
+
+namespace hpcos::obs::live {
+
+struct SpanSamplerConfig {
+  std::uint64_t seed = 0;
+  // Probability a root span's tree is retained. 1.0 keeps everything
+  // (sampled output == full trace — the exactness test pins this).
+  double rate = 1.0;
+  // Reservoir cap on retained roots per node after rate sampling;
+  // 0 = unlimited. This is the hard memory bound for long runs.
+  std::size_t max_roots_per_node = 0;
+  // Relative error of the per-label duration sketches.
+  double sketch_relative_error = 0.01;
+};
+
+// One node's sampled trace. `sketches` cover every root seen (exact
+// counts); `records` hold only the kept trees, whole and in root order.
+struct NodeSample {
+  std::uint64_t roots_seen = 0;
+  std::uint64_t roots_kept = 0;
+  std::uint64_t records_kept = 0;
+  std::vector<sim::TraceRecord> records;
+  // Root-span label -> sketch of root durations in microseconds.
+  std::map<std::string, QuantileSketch> sketches;
+};
+
+// Sample one node's record snapshot. Pure: no global state, no host
+// randomness; safe to call concurrently for distinct nodes.
+NodeSample sample_node(const SpanSamplerConfig& cfg, std::uint64_t node_index,
+                       const std::vector<sim::TraceRecord>& records);
+
+// Whole-run aggregate. Callers MUST pass samples in node-index order —
+// the order is the determinism contract, exactly like shard merges.
+struct SampledTrace {
+  std::uint64_t nodes = 0;
+  std::uint64_t roots_seen = 0;
+  std::uint64_t roots_kept = 0;
+  std::uint64_t records_kept = 0;
+  std::vector<sim::TraceRecord> records;
+  std::map<std::string, QuantileSketch> sketches;
+
+  // Total sketch buckets across labels — the distribution side's entire
+  // memory footprint, what the bounded-memory test pins.
+  std::size_t sketch_bucket_count() const;
+};
+SampledTrace aggregate_samples(const std::vector<NodeSample>& samples);
+
+}  // namespace hpcos::obs::live

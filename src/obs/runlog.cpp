@@ -128,6 +128,16 @@ JsonValue make_run_record(const BenchReport& report, const JsonValue& config,
 
 std::string validate_run_record(const JsonValue& record) {
   if (!record.is_object()) return "record is not a JSON object";
+  // A heartbeat line in a run-ledger file is a specific, diagnosable
+  // mistake (someone pointed --progress-file and --ledger at the same
+  // path), so it gets a specific message instead of the generic
+  // missing-key one.
+  if (const JsonValue* schema = record.find("schema");
+      schema != nullptr && schema->is_string() &&
+      schema->as_string() == "hpcos-heartbeat/1") {
+    return "heartbeat record (hpcos-heartbeat/1) in run ledger — "
+           "heartbeats stream to *.heartbeat.jsonl, not to the ledger";
+  }
   for (const char* key :
        {"schema", "target", "quick", "seed", "config_hash", "metrics"}) {
     if (!record.contains(key)) {

@@ -82,6 +82,22 @@ std::vector<RunGroup> group_records(const std::vector<JsonValue>& records) {
         }
       }
     }
+    // host.* metrics live in the record's host half (excluded from the
+    // deterministic line), but trend is exactly the tool that should see
+    // them — host.progress.events_per_sec.* across commits is the
+    // throughput trajectory. They stay host-named, so the regression and
+    // drift scans below skip them.
+    if (const JsonValue* host = record.find("host");
+        host != nullptr && host->is_object()) {
+      if (const JsonValue* metrics = host->find("metrics");
+          metrics != nullptr && metrics->is_array()) {
+        for (const JsonValue& m : metrics->as_array()) {
+          find_or_add_metric(*group, m.at("name").as_string(),
+                             m.at("unit").as_string())
+              ->values.push_back(m.at("value").as_number());
+        }
+      }
+    }
   }
   return groups;
 }
@@ -137,6 +153,10 @@ std::vector<Regression> find_regressions(const std::vector<RunGroup>& groups,
     if (group.runs < 2) continue;
     for (const MetricSeries& m : group.metrics) {
       if (m.values.size() < 2) continue;
+      // Host telemetry is tracked, never judged: wall-clock rates move
+      // with the machine, and flagging them would train people to
+      // ignore the gate. The hard skip backs up the tolerance rules.
+      if (m.name.rfind("host.", 0) == 0) continue;
       const MetricTolerance& tol = policy.lookup(m.name);
       if (tol.ignore) continue;
       const double current = m.values.back();
@@ -172,6 +192,7 @@ std::vector<Drift> find_drift(const std::vector<RunGroup>& groups,
     for (const MetricSeries& m : group.metrics) {
       const std::size_t n = m.values.size();
       if (n < 2 * min_segment) continue;
+      if (m.name.rfind("host.", 0) == 0) continue;  // tracked, not judged
       Drift best;
       for (std::size_t split = min_segment; split + min_segment <= n;
            ++split) {

@@ -17,12 +17,23 @@
 #include "cluster/osenv.h"
 #include "noise/profiles.h"
 #include "obs/bench_report.h"
+#include "obs/live/counters.h"
+#include "obs/live/heartbeat.h"
+#include "obs/live/live.h"
 #include "obs/registry.h"
 #include "sim/chrome_trace.h"
 #include "sim/trace.h"
 
 namespace hpcos {
 namespace {
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
 
 // ---------------------------------------------------------------- registry
 
@@ -305,10 +316,63 @@ TEST(BenchReport, ParseBenchOptionsExtractsFlags) {
   auto** argv = const_cast<char**>(argv_in);
   const auto opts = obs::parse_bench_options(5, argv);
   EXPECT_TRUE(opts.quick);
-  EXPECT_EQ(opts.json_path, "out.json");
+  EXPECT_EQ(opts.sinks.json_path, "out.json");
+  EXPECT_FALSE(opts.sinks.progress);
+  EXPECT_EQ(opts.sinks.watchdog_stall_s, 0.0);
   ASSERT_EQ(opts.remaining.size(), 2u);
   EXPECT_STREQ(opts.remaining[0], "bench");
   EXPECT_STREQ(opts.remaining[1], "--benchmark_filter=x");
+}
+
+TEST(BenchReport, ParseBenchOptionsArmsProgressAndWatchdogSinks) {
+  // --progress=<ms> plus an explicit stream path: the meter starts at
+  // parse time; draining it through maybe_write_report folds the
+  // host.progress.* aggregates into the report and emits a valid
+  // heartbeat stream (at least the "final" record, even for a run
+  // shorter than one interval).
+  TempFile stream("test_obs_progress.heartbeat.jsonl");
+  const char* argv_in[] = {"bench_progress_test", "--progress=250",
+                           "--progress-file", stream.path.c_str(),
+                           "--watchdog=45.5"};
+  auto** argv = const_cast<char**>(argv_in);
+  auto opts = obs::parse_bench_options(5, argv);
+  EXPECT_TRUE(opts.sinks.progress);
+  EXPECT_EQ(opts.sinks.progress_interval_ms, 250);
+  EXPECT_EQ(opts.sinks.heartbeat_path, stream.path);
+  EXPECT_EQ(opts.sinks.watchdog_stall_s, 45.5);
+  EXPECT_FALSE(opts.sinks.watchdog_abort);
+  ASSERT_EQ(opts.remaining.size(), 1u);
+  EXPECT_TRUE(obs::live::global_meter_active());
+  obs::live::add_events(1234);
+
+  obs::BenchReport report("progress_bench", true);
+  report.add_metric("x", "count", 1.0);
+  opts.sinks.progress = false;  // stderr quiet; meter still stops/drains
+  obs::maybe_write_report(report, opts);
+  EXPECT_FALSE(obs::live::global_meter_active());
+
+  auto find = [&](const std::string& name) -> const obs::BenchMetric* {
+    for (const auto& m : report.metrics()) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+  const obs::BenchMetric* events = find("host.progress.events.total");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->value, 1234.0);
+  EXPECT_NE(find("host.progress.events_per_sec.mean"), nullptr);
+  EXPECT_NE(find("host.progress.events_per_sec.max"), nullptr);
+  const obs::BenchMetric* stalls = find("host.watchdog.stalls.count");
+  ASSERT_NE(stalls, nullptr);
+  EXPECT_EQ(stalls->value, 0.0);
+
+  const obs::live::HeartbeatLog log =
+      obs::live::read_heartbeat_log(stream.path, /*strict=*/true);
+  ASSERT_GE(log.records.size(), 1u);
+  const JsonValue& last = log.records.back();
+  EXPECT_EQ(last.at("kind").as_string(), "final");
+  EXPECT_EQ(last.at("target").as_string(), "bench_progress_test");
+  EXPECT_EQ(last.at("events").as_number(), 1234.0);
 }
 
 // -------------------------------------- span-instrumented offload path

@@ -26,8 +26,10 @@
 #include "common/stats.h"
 #include "noise/profiles.h"
 #include "obs/bench_report.h"
+#include "obs/live/span_sampler.h"
 #include "obs/prof/prof.h"
 #include "obs/runlog.h"
+#include "sim/trace.h"
 
 namespace hpcos::cluster {
 namespace {
@@ -425,6 +427,99 @@ TEST(ParallelDeterminism, HistogramShardMergeEqualsSinglePass) {
   for (std::size_t i = 0; i < whole.num_bins(); ++i) {
     ASSERT_EQ(merged.bin_count(i), whole.bin_count(i)) << "bin " << i;
   }
+}
+
+// Synthetic per-node span trees (4 records each: root, two children, one
+// grandchild) for the sampled-tracer determinism witness below.
+std::vector<sim::TraceRecord> sampler_trace(std::uint64_t node,
+                                            std::size_t trees) {
+  std::vector<sim::TraceRecord> records;
+  std::uint64_t next_span = 1;
+  for (std::size_t i = 0; i < trees; ++i) {
+    const std::uint64_t root = next_span++;
+    const std::uint64_t child_a = next_span++;
+    const std::uint64_t child_b = next_span++;
+    const std::uint64_t leaf = next_span++;
+    const auto t0 =
+        SimTime::us(static_cast<std::int64_t>(500 * i + 13 * node));
+    const std::int64_t dur =
+        static_cast<std::int64_t>(30 + (i * 11 + node * 5) % 90);
+    records.push_back({t0, hw::CoreId{0}, sim::TraceCategory::kSyscallOffload,
+                       SimTime::us(dur), "offload.write", root, 0});
+    records.push_back({t0 + SimTime::us(1), hw::CoreId{0},
+                       sim::TraceCategory::kSyscallOffload,
+                       SimTime::us(dur / 3), "ikc.request", child_a, root});
+    records.push_back({t0 + SimTime::us(2), hw::CoreId{1},
+                       sim::TraceCategory::kSyscall, SimTime::us(dur / 6),
+                       "proxy.exec", leaf, child_a});
+    records.push_back({t0 + SimTime::us(4), hw::CoreId{0},
+                       sim::TraceCategory::kSyscallOffload,
+                       SimTime::us(dur / 3), "ikc.reply", child_b, root});
+  }
+  return records;
+}
+
+TEST(ParallelDeterminism, SampledSpanTraceIdenticalAcrossThreadCounts) {
+  // The sampler's contract (obs/live/span_sampler.h): sample_node is a
+  // pure function of (config, node, records) and aggregation happens in
+  // node-index order, so the whole sampled trace — kept span sequence,
+  // counts, and every sketch quantile — must be bit-identical no matter
+  // how many host threads ran the per-node sampling.
+  namespace live = obs::live;
+  constexpr std::size_t kNodes = 48;
+  live::SpanSamplerConfig cfg;
+  cfg.seed = 0xBEEF;
+  cfg.rate = 0.5;
+  cfg.max_roots_per_node = 12;
+
+  const auto sample_all = [&](std::size_t threads) {
+    std::vector<live::NodeSample> slots(kNodes);
+    parallel_for(
+        kNodes,
+        [&](std::size_t node) {
+          slots[node] = live::sample_node(
+              cfg, node, sampler_trace(node, 40 + node % 7));
+        },
+        threads);
+    return live::aggregate_samples(slots);
+  };
+
+  const live::SampledTrace serial = sample_all(1);
+  const live::SampledTrace two = sample_all(2);
+  const live::SampledTrace eight = sample_all(8);
+
+  const auto expect_identical = [&](const live::SampledTrace& a,
+                                    const live::SampledTrace& b) {
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.roots_seen, b.roots_seen);
+    EXPECT_EQ(a.roots_kept, b.roots_kept);
+    EXPECT_EQ(a.records_kept, b.records_kept);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+      ASSERT_EQ(a.records[i].span, b.records[i].span) << "record " << i;
+      ASSERT_EQ(a.records[i].time, b.records[i].time) << "record " << i;
+      ASSERT_EQ(a.records[i].label, b.records[i].label) << "record " << i;
+    }
+    ASSERT_EQ(a.sketches.size(), b.sketches.size());
+    for (const auto& [label, sketch] : a.sketches) {
+      const auto it = b.sketches.find(label);
+      ASSERT_NE(it, b.sketches.end()) << label;
+      EXPECT_EQ(sketch.count(), it->second.count()) << label;
+      EXPECT_EQ(sketch.bucket_count(), it->second.bucket_count()) << label;
+      for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        // Bitwise: merge is exactly associative and node-ordered.
+        EXPECT_DOUBLE_EQ(sketch.quantile(q), it->second.quantile(q))
+            << label << " q=" << q;
+      }
+    }
+  };
+  expect_identical(serial, two);
+  expect_identical(serial, eight);
+
+  // Sanity on the fixture itself: sampling actually thinned something
+  // and the sketch side still covers the full population.
+  EXPECT_GT(serial.roots_seen, serial.roots_kept);
+  EXPECT_EQ(serial.sketches.at("offload.write").count(), serial.roots_seen);
 }
 
 }  // namespace

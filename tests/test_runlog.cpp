@@ -152,6 +152,36 @@ TEST(RunLedger, AppendAccumulatesAndLenientReaderSkipsTornTail) {
   EXPECT_EQ(prefix.records.size(), 2u);
 }
 
+TEST(RunLedger, HeartbeatLineInLedgerIsRejectedWithSpecificError) {
+  // The two JSONL streams must not mix: a heartbeat record in a run
+  // ledger (e.g. --progress-file pointed at the ledger path) is a hard,
+  // line-numbered, specifically-worded strict error; the lenient reader
+  // skips-and-counts it like any other damaged line.
+  TempFile file("test_runlog_hb_mix.ledger.jsonl");
+  auto report = test_report();
+  obs::append_run_record(
+      file.path, obs::make_run_record(report, test_config(),
+                                      "2026-08-08T00:00:00Z"));
+  {
+    std::ofstream out(file.path, std::ios::app);
+    out << R"({"schema":"hpcos-heartbeat/1","target":"x","kind":"tick"})"
+        << "\n";
+  }
+  try {
+    (void)obs::read_run_ledger(file.path, /*strict=*/true);
+    FAIL() << "strict parser accepted a heartbeat line";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("run ledger line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("hpcos-heartbeat/1"), std::string::npos) << what;
+    EXPECT_NE(what.find("*.heartbeat.jsonl"), std::string::npos) << what;
+  }
+  const obs::RunLedger lenient =
+      obs::read_run_ledger(file.path, /*strict=*/false);
+  EXPECT_EQ(lenient.records.size(), 1u);
+  EXPECT_EQ(lenient.skipped, 1u);
+}
+
 TEST(RunLedger, MissingFileIsEmptyInLenientModeErrorInStrict) {
   EXPECT_THROW(
       (void)obs::read_run_ledger("no_such_ledger.jsonl", /*strict=*/true),
@@ -168,7 +198,7 @@ TEST(RunLedger, MaybeWriteReportAppendsWithInjectedTimestamp) {
   TempFile file("test_runlog_harness.ledger.jsonl");
   obs::BenchOptions opts;
   opts.quick = true;
-  opts.ledger_path = file.path;
+  opts.sinks.ledger_path = file.path;
   ::setenv("HPCOS_RUN_TIMESTAMP", "2026-08-08T00:00:00Z", 1);
   auto report = test_report();
   obs::maybe_write_report(report, opts);

@@ -68,6 +68,38 @@ TEST(Trend, GroupsByTargetAndConfigHashAndFlattensPercentiles) {
   EXPECT_NE(groups[0].config_hash, groups[1].config_hash);
 }
 
+TEST(Trend, HostMetricsAreTrackedButNeverJudged) {
+  // host.* metrics ride in the record's host half; trend must fold them
+  // into the group series (the throughput trajectory across commits) but
+  // the regression and drift scans must never flag them, no matter how
+  // hard they move — wall-clock rates follow the machine, not the code.
+  std::vector<JsonValue> records;
+  for (const double rate : {3.0e6, 3.1e6, 0.2e6, 0.21e6, 0.2e6, 0.19e6}) {
+    obs::BenchReport report("fwq_quick", /*quick=*/true, /*seed=*/1);
+    report.add_metric("fwq.noise_rate", "ratio", 1.0);
+    report.add_metric("host.progress.events_per_sec.mean", "rate", rate);
+    JsonValue config = JsonValue::object();
+    config.set("schema", "hpcos-config-test/1");
+    records.push_back(
+        obs::make_run_record(report, config, "2026-08-08T00:00:00Z"));
+  }
+
+  const auto groups = trend::group_records(records);
+  ASSERT_EQ(groups.size(), 1u);
+  const trend::MetricSeries* host_series = nullptr;
+  for (const trend::MetricSeries& m : groups[0].metrics) {
+    if (m.name == "host.progress.events_per_sec.mean") host_series = &m;
+  }
+  ASSERT_NE(host_series, nullptr) << "host metric missing from the group";
+  EXPECT_EQ(host_series->values.size(), 6u);
+  EXPECT_EQ(host_series->values.front(), 3.0e6);
+
+  // A 15x collapse in a host rate: neither scan may flag it (the
+  // deterministic metric is constant, so any flag here is the host one).
+  EXPECT_TRUE(trend::find_regressions(groups, obs::DiffPolicy{}).empty());
+  EXPECT_TRUE(trend::find_drift(groups).empty());
+}
+
 // ----------------------------------------------------------- statistics
 
 TEST(Trend, MedianAndMadAreRobust) {

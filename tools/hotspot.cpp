@@ -2,7 +2,7 @@
 //
 // The ROADMAP's full-Fugaku item ("profile and rework the DES hot loop")
 // needs a measurement harness before any calendar-queue or arena/SoA
-// rework can be evidence-driven. This tool is that harness. Three
+// rework can be evidence-driven. This tool is that harness. Four
 // sections:
 //
 //   1. Accounting run (serial, profiler on, one root scope): a DES
@@ -18,6 +18,11 @@
 //      pool with the park/depth timeline enabled; prints per-worker
 //      deque depth, steal success rates, and park time.
 //   3. Memory: per-subsystem allocation counters and process RSS.
+//   4. Sampled span tracing (obs/live): the accounting node's span trace
+//      through the deterministic sampler, both lossless (rate=1 must
+//      keep every tree — an exactness check on the sampler itself) and
+//      thinned (rate + reservoir cap, the full-scale memory story), with
+//      per-label duration quantiles from the exact sketch side.
 //
 // Exit status is non-zero when any accounting check fails, so the
 // hotspot_smoke ctest job guards the profiler's arithmetic, not just
@@ -28,6 +33,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,10 +47,12 @@
 #include "noise/fwq.h"
 #include "noise/profiles.h"
 #include "obs/bench_report.h"
+#include "obs/live/span_sampler.h"
 #include "obs/prof/mem.h"
 #include "obs/prof/prof.h"
 #include "obs/prof_report.h"
 #include "obs/timeseries/timeseries.h"
+#include "oskernel/thread.h"
 #include "sim/folded_stack.h"
 
 #include "cli_util.h"
@@ -52,6 +60,22 @@
 namespace {
 
 using namespace hpcos;
+
+// §4's span workload: each thread issues `count` offloaded syscalls, so
+// the node's trace carries parent-linked span trees (LWK -> IKC -> proxy
+// -> IKC -> LWK) for the sampler to walk.
+struct OffloadBurst final : os::ThreadBody {
+  explicit OffloadBurst(int count) : remaining(count) {}
+  int remaining;
+  void step(os::ThreadContext& ctx) override {
+    if (remaining == 0) {
+      ctx.exit();
+      return;
+    }
+    --remaining;
+    ctx.invoke(os::Syscall::kStat, {});
+  }
+};
 
 cluster::FwqCampaignConfig campaign_config(bool quick, std::size_t threads) {
   cluster::FwqCampaignConfig config;
@@ -75,7 +99,8 @@ int main(int argc, char** argv) {
   auto opts = obs::parse_bench_options(argc, argv);
   std::string folded_path;
   tools::CliArgs cli(
-      "usage: hotspot [--quick] [--json <path>] [--folded <path>]");
+      "usage: hotspot [--quick] [--json <path>] [--ledger <path>]"
+      " [--folded <path>] [--progress[=ms]] [--watchdog[=s]]");
   cli.add_value("--folded", &folded_path);
   if (!cli.parse(opts.remaining)) return 2;
 
@@ -92,6 +117,9 @@ int main(int argc, char** argv) {
   cluster::SimNodeOptions node_options;
   node_options.seed = Seed{2026};
   node_options.observability = true;
+  // Span ring for §4 (sampled span tracing); sized so the quick DES
+  // window fits without wraparound and the lossless check stays exact.
+  node_options.trace_capacity = 1 << 15;
   auto node = cluster::SimNode::make_multikernel_node(
       platform, linuxk::make_fugaku_linux_config(platform),
       mck::McKernelConfig::defaults(), node_options);
@@ -115,6 +143,10 @@ int main(int argc, char** argv) {
       fwq.iterations = q ? 40 : 200;
       noise::run_fwq(node->app_kernel(),
                      node->topology().application_cores(), fwq);
+      for (int t = 0; t < 4; ++t) {
+        node->lwk()->spawn(std::make_unique<OffloadBurst>(q ? 12 : 50),
+                           os::SpawnAttrs{.name = "offload-burst"});
+      }
       node->simulator().run_until(des_until);
     }
     {
@@ -280,6 +312,62 @@ int main(int argc, char** argv) {
               << " MiB, vm " << host_mem.vm_bytes / (1024 * 1024) << " MiB\n";
   }
 
+  // ---- 4. sampled span tracing ------------------------------------------
+  // The accounting node's span trace through both sides of the sampler:
+  // lossless (rate=1, no cap) must keep every tree bit-for-bit — the
+  // in-tool twin of the quick-scale exactness test — while the thinned
+  // config shows what a full-machine run would retain per node. The
+  // sketches cover every root either way, so the quantile columns are
+  // exact regardless of how hard the raw side thins.
+  const std::vector<sim::TraceRecord> trace_records = node->trace().snapshot();
+  std::size_t spanned_records = 0;
+  for (const sim::TraceRecord& r : trace_records) {
+    if (r.span != 0) ++spanned_records;
+  }
+  obs::live::SpanSamplerConfig lossless_cfg;
+  lossless_cfg.seed = 2026;
+  const obs::live::NodeSample lossless =
+      obs::live::sample_node(lossless_cfg, /*node_index=*/0, trace_records);
+  obs::live::SpanSamplerConfig thinned_cfg = lossless_cfg;
+  thinned_cfg.rate = 0.25;
+  thinned_cfg.max_roots_per_node = 32;
+  const obs::live::NodeSample thinned =
+      obs::live::sample_node(thinned_cfg, /*node_index=*/0, trace_records);
+
+  // Every spanned record belongs to exactly one tree (orphans are
+  // promoted to roots), so rate=1 with no cap must retain all of them.
+  const bool sampler_lossless =
+      lossless.roots_kept == lossless.roots_seen &&
+      lossless.records_kept == spanned_records;
+  const bool reservoir_bounded =
+      thinned.roots_kept <= thinned_cfg.max_roots_per_node;
+  ok = ok && sampler_lossless && reservoir_bounded;
+
+  print_banner(std::cout, "Sampled span tracing (obs/live, node span trace)");
+  std::size_t sketch_buckets = 0;
+  TextTable span_table(
+      {"root label", "roots", "p50 us", "p99 us", "max us", "buckets"});
+  for (std::size_t c = 1; c < 6; ++c) span_table.set_align(c, Align::kRight);
+  for (const auto& [label, sketch] : lossless.sketches) {
+    sketch_buckets += sketch.bucket_count();
+    span_table.add_row(
+        {label, TextTable::fmt_int(static_cast<long long>(sketch.count())),
+         TextTable::fmt(sketch.quantile(0.50), 2),
+         TextTable::fmt(sketch.quantile(0.99), 2),
+         TextTable::fmt(sketch.max(), 2),
+         TextTable::fmt_int(static_cast<long long>(sketch.bucket_count()))});
+  }
+  span_table.print(std::cout);
+  std::cout << "trace: " << trace_records.size() << " records ("
+            << spanned_records << " spanned, " << lossless.roots_seen
+            << " roots); lossless pass kept " << lossless.records_kept
+            << (sampler_lossless ? " (exact)" : " (LOSSY — BUG)")
+            << "; thinned (rate=" << TextTable::fmt(thinned_cfg.rate, 2)
+            << ", cap=" << thinned_cfg.max_roots_per_node << ") kept "
+            << thinned.roots_kept << " roots / " << thinned.records_kept
+            << " records"
+            << (reservoir_bounded ? "" : " (CAP EXCEEDED — BUG)") << "\n";
+
   // ---- report -----------------------------------------------------------
   // Deterministic (gated): every scope/handler count, the DES queue
   // counters, and the campaign's simulated results. Host times and
@@ -312,6 +400,20 @@ int main(int argc, char** argv) {
     report.add_metric("host.des.fire." + h.tag + ".us", "us",
                       static_cast<double>(h.host_ns) / 1e3);
   }
+  report.add_metric("live.trace.records.count", "count",
+                    static_cast<double>(trace_records.size()));
+  report.add_metric("live.sample.roots_seen.count", "count",
+                    static_cast<double>(lossless.roots_seen));
+  report.add_metric("live.sample.lossless", "bool",
+                    sampler_lossless ? 1.0 : 0.0);
+  report.add_metric("live.sample.thinned.roots.count", "count",
+                    static_cast<double>(thinned.roots_kept));
+  report.add_metric("live.sample.thinned.records.count", "count",
+                    static_cast<double>(thinned.records_kept));
+  report.add_metric("live.sketch.labels.count", "count",
+                    static_cast<double>(lossless.sketches.size()));
+  report.add_metric("live.sketch.buckets.count", "count",
+                    static_cast<double>(sketch_buckets));
   add_profile_metrics(report, profile);
   add_memory_metrics(report);
   std::uint64_t total_steals = 0;

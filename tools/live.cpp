@@ -1,0 +1,134 @@
+// live — inspect an hpcos-heartbeat/1 stream (obs/live) after (or while)
+// a --progress run writes it.
+//
+//   live --heartbeats <stream.heartbeat.jsonl> [--strict] [--fail-on-stall]
+//        [--json <path>] [--quick]
+//
+// Reads the stream leniently by default (damaged lines — e.g. a line
+// torn by the very hang the watchdog diagnosed — are skipped and
+// counted, never fatal; --strict hard-fails with the line number),
+// renders the tick history as a table, and prints the whole-stream
+// aggregates: total events, mean/max events_per_sec, units, peak RSS,
+// stall episodes.
+//
+// Exports: --json emits a BenchReport over the stream (record/tick/stall
+// counts, event totals and rates — all deterministic for a frozen
+// fixture, which is what the live_smoke + live_gate CI jobs pin).
+//
+// Exit codes: 0 clean, 1 stalls found under --fail-on-stall, 2 usage/
+// I-O/parse errors.
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "obs/bench_report.h"
+#include "obs/live/heartbeat.h"
+
+#include "cli_util.h"
+
+namespace {
+
+using namespace hpcos;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = obs::parse_bench_options(argc, argv);
+  std::string heartbeats_path;
+  bool strict = false;
+  bool fail_on_stall = false;
+  tools::CliArgs cli(
+      "usage: live --heartbeats <stream.heartbeat.jsonl> [--strict]"
+      " [--fail-on-stall] [--json <path>] [--quick]");
+  cli.add_value("--heartbeats", &heartbeats_path);
+  cli.add_flag("--strict", &strict);
+  cli.add_flag("--fail-on-stall", &fail_on_stall);
+  if (!cli.parse(opts.remaining)) return 2;
+  if (heartbeats_path.empty()) {
+    std::cerr << "live: --heartbeats <stream.heartbeat.jsonl> is required\n";
+    return 2;
+  }
+
+  try {
+    const obs::live::HeartbeatLog log =
+        obs::live::read_heartbeat_log(heartbeats_path, strict);
+    if (log.records.empty()) {
+      std::cerr << "live: no heartbeat records in " << heartbeats_path
+                << "\n";
+      return 2;
+    }
+    if (log.skipped > 0) {
+      std::cout << "live: skipped " << log.skipped
+                << " damaged line(s) in " << heartbeats_path << "\n";
+    }
+
+    print_banner(std::cout, "heartbeat stream: " + heartbeats_path);
+    TextTable t({"kind", "seq", "t_s", "events", "ev/s", "sim_s", "units",
+                 "des depth", "rss MiB", "stalls"});
+    for (const JsonValue& r : log.records) {
+      const double units_total = r.at("units_total").as_number();
+      t.add_row(
+          {r.at("kind").as_string(),
+           TextTable::fmt_int(
+               static_cast<std::int64_t>(r.at("seq").as_number())),
+           TextTable::fmt(r.at("t_ms").as_number() / 1e3, 2),
+           TextTable::fmt_int(
+               static_cast<std::int64_t>(r.at("events").as_number())),
+           TextTable::fmt(r.at("events_per_sec").as_number(), 1),
+           TextTable::fmt(r.at("sim_time_us").as_number() / 1e6, 3),
+           units_total > 0
+               ? TextTable::fmt_int(static_cast<std::int64_t>(
+                     r.at("units_done").as_number())) +
+                     "/" +
+                     TextTable::fmt_int(
+                         static_cast<std::int64_t>(units_total))
+               : "-",
+           TextTable::fmt_int(static_cast<std::int64_t>(
+               r.at("des").at("depth").as_number())),
+           TextTable::fmt(r.at("rss_bytes").as_number() / (1024.0 * 1024.0),
+                          1),
+           TextTable::fmt_int(
+               static_cast<std::int64_t>(r.at("stalls").as_number()))});
+    }
+    t.print(std::cout);
+
+    const obs::live::HeartbeatAggregates agg =
+        obs::live::aggregate_heartbeats(log.records);
+    std::cout << "\n" << agg.records << " records (" << agg.ticks
+              << " ticks), " << agg.events_total << " events in "
+              << agg.elapsed_s << " s: mean " << agg.events_per_sec_mean
+              << " ev/s, max " << agg.events_per_sec_max << " ev/s, units "
+              << agg.units_done << "/" << agg.units_total << ", peak rss "
+              << static_cast<double>(agg.peak_rss_bytes) / (1024.0 * 1024.0)
+              << " MiB, stalls " << agg.stalls << "\n";
+
+    obs::BenchReport report("live_heartbeats", opts.quick);
+    report.add_metric("heartbeat.records.count", "count",
+                      static_cast<double>(agg.records));
+    report.add_metric("heartbeat.ticks.count", "count",
+                      static_cast<double>(agg.ticks));
+    report.add_metric("heartbeat.stalls.count", "count",
+                      static_cast<double>(agg.stalls));
+    report.add_metric("heartbeat.skipped_lines.count", "count",
+                      static_cast<double>(log.skipped));
+    report.add_metric("heartbeat.events.total", "count",
+                      static_cast<double>(agg.events_total));
+    report.add_metric("heartbeat.events_per_sec.mean", "rate",
+                      agg.events_per_sec_mean);
+    report.add_metric("heartbeat.events_per_sec.max", "rate",
+                      agg.events_per_sec_max);
+    report.add_metric("heartbeat.units.done", "count",
+                      static_cast<double>(agg.units_done));
+    obs::maybe_write_report(report, opts);
+
+    if (fail_on_stall && agg.stalls > 0) {
+      std::cout << "live: FAIL — " << agg.stalls
+                << " stall episode(s) in the stream\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "live: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -111,7 +111,8 @@ int main(int argc, char** argv) {
   auto opts = obs::parse_bench_options(argc, argv);
   std::string folded_path;
   tools::CliArgs cli(
-      "usage: noise_explain [--quick] [--json <path>] [--folded <path>]");
+      "usage: noise_explain [--quick] [--json <path>] [--ledger <path>]"
+      " [--folded <path>] [--progress[=ms]] [--watchdog[=s]]");
   cli.add_value("--folded", &folded_path);
   if (!cli.parse(opts.remaining)) return 2;
 

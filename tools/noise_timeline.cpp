@@ -89,8 +89,8 @@ int main(int argc, char** argv) {
   auto opts = obs::parse_bench_options(argc, argv);
   std::string openmetrics_path;
   tools::CliArgs cli(
-      "usage: noise_timeline [--quick] [--json <path>] "
-      "[--openmetrics <path>]");
+      "usage: noise_timeline [--quick] [--json <path>] [--ledger <path>]"
+      " [--openmetrics <path>] [--progress[=ms]] [--watchdog[=s]]");
   cli.add_value("--openmetrics", &openmetrics_path);
   if (!cli.parse(opts.remaining)) return 2;
 

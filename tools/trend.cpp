@@ -62,14 +62,14 @@ int main(int argc, char** argv) {
   cli.add_value("--openmetrics", &openmetrics_path);
   cli.add_value("--target", &target_filter);
   if (!cli.parse(opts.remaining)) return 2;
-  if (opts.ledger_path.empty()) {
+  if (opts.sinks.ledger_path.empty()) {
     std::cerr << "trend: --ledger <runs.jsonl> is required\n";
     return 2;
   }
   // The ledger is this tool's *input*; never append trend's own report
   // record back into it (that would grow the file under CI's feet).
-  const std::string ledger_path = opts.ledger_path;
-  opts.ledger_path.clear();
+  const std::string ledger_path = opts.sinks.ledger_path;
+  opts.sinks.ledger_path.clear();
 
   try {
     const obs::RunLedger ledger =
