@@ -93,4 +93,70 @@ std::string config_hash_hex(const JsonValue& config) {
   return to_hex64(config_hash64(config));
 }
 
+namespace {
+
+void diff_walk(const JsonValue& base, const JsonValue& current,
+               const std::string& path, std::vector<ConfigDelta>& out) {
+  if (base.is_object() && current.is_object()) {
+    // Union of keys in bytewise-sorted order — the same visit order the
+    // canonical serializer uses, so diff order matches canonical bytes.
+    std::vector<std::string> keys;
+    for (const JsonMember& m : base.members()) keys.push_back(m.first);
+    for (const JsonMember& m : current.members()) keys.push_back(m.first);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (const std::string& key : keys) {
+      const std::string child = path.empty() ? key : path + "." + key;
+      const JsonValue* b = base.find(key);
+      const JsonValue* c = current.find(key);
+      if (b != nullptr && c != nullptr) {
+        diff_walk(*b, *c, child, out);
+      } else if (c != nullptr) {
+        out.push_back({ConfigDeltaKind::kAdded, child, "",
+                       canonical_json(*c)});
+      } else {
+        out.push_back({ConfigDeltaKind::kRemoved, child,
+                       canonical_json(*b), ""});
+      }
+    }
+    return;
+  }
+  if (base.is_array() && current.is_array()) {
+    const JsonArray& b = base.as_array();
+    const JsonArray& c = current.as_array();
+    const std::size_t common = std::min(b.size(), c.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      diff_walk(b[i], c[i], path + "[" + std::to_string(i) + "]", out);
+    }
+    for (std::size_t i = common; i < c.size(); ++i) {
+      out.push_back({ConfigDeltaKind::kAdded,
+                     path + "[" + std::to_string(i) + "]", "",
+                     canonical_json(c[i])});
+    }
+    for (std::size_t i = common; i < b.size(); ++i) {
+      out.push_back({ConfigDeltaKind::kRemoved,
+                     path + "[" + std::to_string(i) + "]",
+                     canonical_json(b[i]), ""});
+    }
+    return;
+  }
+  // Leaf (or container-kind mismatch): canonical bytes decide. Matching
+  // bytes at matching kinds is the only way to produce no entry, which is
+  // what ties the empty diff to hash equality.
+  const std::string b = canonical_json(base);
+  const std::string c = canonical_json(current);
+  if (b != c) {
+    out.push_back({ConfigDeltaKind::kChanged, path, b, c});
+  }
+}
+
+}  // namespace
+
+std::vector<ConfigDelta> config_diff(const JsonValue& base,
+                                     const JsonValue& current) {
+  std::vector<ConfigDelta> out;
+  diff_walk(base, current, "", out);
+  return out;
+}
+
 }  // namespace hpcos

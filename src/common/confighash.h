@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/json.h"
 
@@ -53,5 +54,36 @@ std::string to_hex64(std::uint64_t value);
 // Digest of kConfigHashSchema + '\n' + canonical_json(config).
 std::uint64_t config_hash64(const JsonValue& config);
 std::string config_hash_hex(const JsonValue& config);
+
+// ------------------------------------------------------------------------
+// Knob-by-knob diff over the canonical normal form.
+//
+// The hash answers "same experiment or not?"; the diff answers *which*
+// knob made two configs different experiments. The walk follows the same
+// normal form the hash digests — object keys visited in bytewise-sorted
+// order, leaves compared by canonical bytes — so the two are consistent
+// by construction: config_hash64(a) == config_hash64(b) if and only if
+// config_diff(a, b) is empty (the tested invariant).
+
+enum class ConfigDeltaKind : std::uint8_t {
+  kChanged,  // leaf present on both sides with different canonical bytes
+  kAdded,    // path present only in `current`
+  kRemoved,  // path present only in `base`
+};
+
+struct ConfigDelta {
+  ConfigDeltaKind kind = ConfigDeltaKind::kChanged;
+  // Dotted path from the document root; array elements as "sources[2]".
+  std::string path;
+  std::string base;     // canonical rendering; "" for kAdded
+  std::string current;  // canonical rendering; "" for kRemoved
+};
+
+// Walk both documents and report every differing leaf, in canonical
+// (sorted-key, index-order) walk order. A kind mismatch (object vs
+// number, say) or an array-length mismatch reports at the narrowest
+// common path rather than descending further.
+std::vector<ConfigDelta> config_diff(const JsonValue& base,
+                                     const JsonValue& current);
 
 }  // namespace hpcos

@@ -264,4 +264,29 @@ DiffResult diff_reports(const JsonValue& current, const JsonValue& baseline,
   return r;
 }
 
+BenchReport diff_result_report(const DiffResult& result,
+                               const std::string& bench_name, bool quick) {
+  BenchReport report("bench_diff", quick);
+  report.add_metric("gate.ok", "bool", result.ok() ? 1.0 : 0.0);
+  report.add_metric("gate.bench." + bench_name + ".compared", "count",
+                    static_cast<double>(result.deltas.size()));
+  report.add_metric("gate.compared.count", "count",
+                    static_cast<double>(result.deltas.size()));
+  report.add_metric("gate.violations.count", "count",
+                    static_cast<double>(result.violations.size()));
+  report.add_metric("gate.missing.count", "count",
+                    static_cast<double>(result.missing_in_current.size()));
+  report.add_metric("gate.new.count", "count",
+                    static_cast<double>(result.new_in_current.size()));
+  report.add_metric("gate.worst.rel_delta", "ratio",
+                    result.violations.empty()
+                        ? 0.0
+                        : result.violations.front().rel_delta);
+  for (const MetricDelta& v : result.violations) {
+    report.add_metric("gate.violation." + v.metric + ".rel", "ratio",
+                      v.rel_delta);
+  }
+  return report;
+}
+
 }  // namespace hpcos::obs

@@ -99,4 +99,15 @@ struct DiffResult {
 DiffResult diff_reports(const JsonValue& current, const JsonValue& baseline,
                         const DiffPolicy& policy);
 
+class BenchReport;
+
+// Machine-readable gate result (the bench_diff --json surface): fold a
+// DiffResult into a BenchReport named "bench_diff" so CI and the explain
+// tooling consume gate outcomes through the one schema they already
+// parse, instead of scraping the violation table. Emits gate.ok,
+// compared/violation/missing/new counts, the worst relative delta, and
+// one gate.violation.<metric>.rel entry per out-of-tolerance metric.
+BenchReport diff_result_report(const DiffResult& result,
+                               const std::string& bench_name, bool quick);
+
 }  // namespace hpcos::obs

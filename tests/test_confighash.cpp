@@ -237,5 +237,155 @@ TEST(ConfigHash, EnvironmentsAndBenchPlansSeparateCleanly) {
                 "minife", linux_env, job, Seed{1})));
 }
 
+// ------------------------------------------------- knob-by-knob diffing
+
+TEST(ConfigDiff, HashEqualIffEmptyDiff) {
+  const JsonValue doc =
+      cluster::to_config_json(cluster::FwqCampaignConfig{});
+  // Same semantics, different insertion order: hashes collide, so the
+  // diff must be empty — one direction of the invariant.
+  JsonValue reversed = JsonValue::object();
+  const auto& members = doc.members();
+  for (auto it = members.rbegin(); it != members.rend(); ++it) {
+    reversed.set(it->first, it->second);
+  }
+  ASSERT_EQ(config_hash_hex(doc), config_hash_hex(reversed));
+  EXPECT_TRUE(config_diff(doc, reversed).empty());
+
+  // Other direction: any knob mutation that moves the hash must surface
+  // at least one delta, and an empty diff must mean equal hashes.
+  const std::vector<std::pair<const char*, FwqMutator>> knobs = {
+      {"nodes", [](auto& c) { c.nodes += 1; }},
+      {"work_quantum", [](auto& c) { c.work_quantum = SimTime::from_ms(7); }},
+      {"timeline", [](auto& c) { c.timeline = !c.timeline; }},
+      {"seed", [](auto& c) { c.seed = Seed{c.seed.value + 1}; }},
+  };
+  for (const auto& [name, mutate] : knobs) {
+    cluster::FwqCampaignConfig mutated;
+    mutate(mutated);
+    const JsonValue other = cluster::to_config_json(mutated);
+    const auto deltas = config_diff(doc, other);
+    EXPECT_EQ(config_hash_hex(doc) == config_hash_hex(other),
+              deltas.empty())
+        << "hash/diff disagreement for knob \"" << name << "\"";
+  }
+}
+
+TEST(ConfigDiff, NamesEachChangedFwqKnob) {
+  const JsonValue base =
+      cluster::to_config_json(cluster::FwqCampaignConfig{});
+  const std::vector<std::pair<const char*, FwqMutator>> knobs = {
+      {"nodes", [](auto& c) { c.nodes += 1; }},
+      {"app_cores", [](auto& c) { c.app_cores += 1; }},
+      {"work_quantum_ns",
+       [](auto& c) { c.work_quantum = SimTime::from_ms(7); }},
+      {"duration_per_core_ns",
+       [](auto& c) { c.duration_per_core = SimTime::sec(60); }},
+      {"all_cores_jitter_sigma",
+       [](auto& c) { c.all_cores_jitter_sigma = 0.25; }},
+      {"timeline", [](auto& c) { c.timeline = !c.timeline; }},
+      {"seed", [](auto& c) { c.seed = Seed{c.seed.value + 1}; }},
+  };
+  for (const auto& [path, mutate] : knobs) {
+    cluster::FwqCampaignConfig mutated;
+    mutate(mutated);
+    const auto deltas =
+        config_diff(base, cluster::to_config_json(mutated));
+    ASSERT_EQ(deltas.size(), 1u)
+        << "knob \"" << path << "\" should change exactly one leaf";
+    EXPECT_EQ(deltas[0].kind, ConfigDeltaKind::kChanged);
+    EXPECT_EQ(deltas[0].path, path);
+    EXPECT_NE(deltas[0].base, deltas[0].current);
+  }
+}
+
+TEST(ConfigDiff, CountermeasureTogglesNameTheirPath) {
+  const JsonValue base =
+      cluster::to_config_json(noise::Countermeasures{});
+  const std::vector<
+      std::pair<const char*, std::function<void(noise::Countermeasures&)>>>
+      knobs = {
+          {"bind_daemons", [](auto& c) { c.bind_daemons = !c.bind_daemons; }},
+          {"bind_kworkers",
+           [](auto& c) { c.bind_kworkers = !c.bind_kworkers; }},
+          {"bind_blkmq", [](auto& c) { c.bind_blkmq = !c.bind_blkmq; }},
+          {"stop_pmu_reads",
+           [](auto& c) { c.stop_pmu_reads = !c.stop_pmu_reads; }},
+          {"suppress_global_tlbi",
+           [](auto& c) { c.suppress_global_tlbi = !c.suppress_global_tlbi; }},
+      };
+  for (const auto& [path, mutate] : knobs) {
+    noise::Countermeasures cm;
+    mutate(cm);
+    const auto deltas = config_diff(base, cluster::to_config_json(cm));
+    ASSERT_EQ(deltas.size(), 1u) << "toggle \"" << path << "\"";
+    EXPECT_EQ(deltas[0].kind, ConfigDeltaKind::kChanged);
+    EXPECT_EQ(deltas[0].path, path);
+    // Bools render canonically, so the delta reads true/false verbatim.
+    EXPECT_TRUE((deltas[0].base == "true" && deltas[0].current == "false") ||
+                (deltas[0].base == "false" && deltas[0].current == "true"))
+        << deltas[0].base << " -> " << deltas[0].current;
+  }
+}
+
+TEST(ConfigDiff, NestedProfilePathsUseArrayIndices) {
+  const noise::AnalyticNoiseProfile base_profile =
+      noise::ofp_linux_profile();
+  const JsonValue base = cluster::to_config_json(base_profile);
+
+  noise::AnalyticNoiseProfile mutated = base_profile;
+  ASSERT_FALSE(mutated.sources.empty());
+  mutated.sources[0].mean_interval = mutated.sources[0].mean_interval * 2;
+  auto deltas = config_diff(base, cluster::to_config_json(mutated));
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].path, "sources[0].mean_interval_ns");
+
+  // Two levels of nesting: the duration distribution inside a source.
+  mutated = base_profile;
+  ASSERT_GE(mutated.sources.size(), 2u);
+  mutated.sources[1].duration.sigma += 0.125;
+  deltas = config_diff(base, cluster::to_config_json(mutated));
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].path, "sources[1].duration.sigma");
+}
+
+TEST(ConfigDiff, ReportsAddedRemovedAndKindMismatches) {
+  JsonValue base = JsonValue::object();
+  base.set("kept", 1);
+  base.set("dropped", 2);
+  base.set("shape", 3);
+  JsonValue arr_a = JsonValue::array();
+  arr_a.push_back(JsonValue(1.0));
+  arr_a.push_back(JsonValue(2.0));
+  base.set("list", std::move(arr_a));
+
+  JsonValue current = JsonValue::object();
+  current.set("kept", 1);
+  current.set("gained", 4);
+  // Kind mismatch (number -> object) must report at "shape", not recurse.
+  JsonValue inner = JsonValue::object();
+  inner.set("x", 3);
+  current.set("shape", std::move(inner));
+  JsonValue arr_b = JsonValue::array();
+  arr_b.push_back(JsonValue(1.0));
+  current.set("list", std::move(arr_b));
+
+  const auto deltas = config_diff(base, current);
+  ASSERT_EQ(deltas.size(), 4u);
+  // Walk order is canonical (sorted keys), so the sequence is stable.
+  EXPECT_EQ(deltas[0].path, "dropped");
+  EXPECT_EQ(deltas[0].kind, ConfigDeltaKind::kRemoved);
+  EXPECT_EQ(deltas[0].base, "2");
+  EXPECT_EQ(deltas[1].path, "gained");
+  EXPECT_EQ(deltas[1].kind, ConfigDeltaKind::kAdded);
+  EXPECT_EQ(deltas[1].current, "4");
+  EXPECT_EQ(deltas[2].path, "list[1]");
+  EXPECT_EQ(deltas[2].kind, ConfigDeltaKind::kRemoved);
+  EXPECT_EQ(deltas[3].path, "shape");
+  EXPECT_EQ(deltas[3].kind, ConfigDeltaKind::kChanged);
+  EXPECT_EQ(deltas[3].base, "3");
+  EXPECT_EQ(deltas[3].current, R"({"x":3})");
+}
+
 }  // namespace
 }  // namespace hpcos

@@ -182,6 +182,72 @@ TEST(RunLedger, HeartbeatLineInLedgerIsRejectedWithSpecificError) {
   EXPECT_EQ(lenient.skipped, 1u);
 }
 
+TEST(RunLedger, LenientReaderSkipsEveryDamagedLineKindInOneFile) {
+  // One file, every damage class at once: two torn (truncated-JSON)
+  // lines at different positions plus two interleaved heartbeat lines
+  // between valid records. The lenient reader must keep every valid
+  // record and count exactly the four damaged lines — per-line recovery,
+  // not give-up-at-first-error.
+  TempFile file("test_runlog_multidamage.ledger.jsonl");
+  const JsonValue record = obs::make_run_record(
+      test_report(), test_config(), "2026-08-08T12:00:00Z");
+  const std::string good = obs::run_record_line(record);
+  const std::string heartbeat =
+      R"({"schema":"hpcos-heartbeat/1","target":"x","kind":"tick"})";
+  {
+    std::ofstream out(file.path);
+    out << good << "\n"
+        << R"({"schema":"hpcos-run-ledg)" << "\n"   // torn line 2
+        << good << "\n"
+        << heartbeat << "\n"                        // heartbeat line 4
+        << good << "\n"
+        << heartbeat << "\n"                        // heartbeat line 6
+        << R"({"target":"half","metri)" << "\n"     // torn line 7
+        << good << "\n";
+  }
+  const obs::RunLedger ledger =
+      obs::read_run_ledger(file.path, /*strict=*/false);
+  EXPECT_EQ(ledger.records.size(), 4u);
+  EXPECT_EQ(ledger.skipped, 4u);
+  for (const JsonValue& r : ledger.records) {
+    EXPECT_EQ(r.at("target").as_string(), "runlog_bench");
+  }
+}
+
+TEST(RunLedger, StrictParserNamesTheFirstDamagedLineNumber) {
+  // Same mixed file shape, strict mode: the error must carry the 1-based
+  // line number of the FIRST damaged line so the operator can fix the
+  // file by line address, and an error deeper in the file must name that
+  // deeper line (valid prefix already consumed).
+  const JsonValue record = obs::make_run_record(
+      test_report(), test_config(), "2026-08-08T12:00:00Z");
+  const std::string good = obs::run_record_line(record);
+
+  const std::string torn_at_3 =
+      good + "\n" + good + "\n" + R"({"schema":"hpcos-run-le)" + "\n";
+  try {
+    (void)obs::parse_run_ledger(torn_at_3, /*strict=*/true);
+    FAIL() << "strict parser accepted a torn line";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("run ledger line 3"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Blank lines are permitted separators and must not shift the count:
+  // the damaged line is physically line 4 here.
+  const std::string with_blank =
+      good + "\n\n" + good + "\n" + R"(not json at all)" + "\n";
+  try {
+    (void)obs::parse_run_ledger(with_blank, /*strict=*/true);
+    FAIL() << "strict parser accepted a non-JSON line";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("run ledger line 4"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(RunLedger, MissingFileIsEmptyInLenientModeErrorInStrict) {
   EXPECT_THROW(
       (void)obs::read_run_ledger("no_such_ledger.jsonl", /*strict=*/true),

@@ -2,12 +2,19 @@
 //
 //   bench_diff <current.json> <baseline.json>
 //              [--tolerances <policy.json>] [--update-baselines]
+//              [--json <path>]
 //
 // Exit codes:
 //   0  every metric within tolerance (or baseline updated)
 //   1  at least one out-of-tolerance metric or a metric missing from the
 //      current report — a ranked violation table is printed
 //   2  usage / I/O / schema errors
+//
+// --json writes the gate result as a BenchReport document (gate.ok,
+// violation counts, one gate.violation.<metric>.rel entry per failure) so
+// CI and the explain tooling consume outcomes without scraping the table.
+// The file is written for pass AND fail verdicts; the exit code is
+// unchanged.
 //
 // The ctest bench_gate jobs run this against bench/baselines/<bench>.json
 // downstream of each bench_smoke run; --update-baselines rewrites the
@@ -29,7 +36,8 @@ using hpcos::TextTable;
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <current.json> <baseline.json>"
-               " [--tolerances <policy.json>] [--update-baselines]\n";
+               " [--tolerances <policy.json>] [--update-baselines]"
+               " [--json <path>]\n";
   return 2;
 }
 
@@ -39,6 +47,7 @@ int main(int argc, char** argv) {
   std::string current_path;
   std::string baseline_path;
   std::string tolerances_path;
+  std::string json_path;
   bool update_baselines = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -46,6 +55,9 @@ int main(int argc, char** argv) {
     if (arg == "--tolerances") {
       if (++i >= argc) return usage(argv[0]);
       tolerances_path = argv[i];
+    } else if (arg == "--json") {
+      if (++i >= argc) return usage(argv[0]);
+      json_path = argv[i];
     } else if (arg == "--update-baselines") {
       update_baselines = true;
     } else if (current_path.empty()) {
@@ -89,6 +101,13 @@ int main(int argc, char** argv) {
     const JsonValue baseline = hpcos::obs::load_json_file(baseline_path);
     const hpcos::obs::DiffResult result =
         hpcos::obs::diff_reports(current, baseline, policy);
+
+    if (!json_path.empty()) {
+      hpcos::obs::diff_result_report(result,
+                                     current.at("bench").as_string(),
+                                     current.at("quick").as_bool())
+          .write(json_path);
+    }
 
     for (const std::string& name : result.new_in_current) {
       std::cout << "note: new metric not in baseline: " << name

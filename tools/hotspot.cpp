@@ -47,6 +47,7 @@
 #include "noise/fwq.h"
 #include "noise/profiles.h"
 #include "obs/bench_report.h"
+#include "obs/explain/explain.h"
 #include "obs/live/span_sampler.h"
 #include "obs/prof/mem.h"
 #include "obs/prof/prof.h"
@@ -414,6 +415,11 @@ int main(int argc, char** argv) {
                     static_cast<double>(lossless.sketches.size()));
   report.add_metric("live.sketch.buckets.count", "count",
                     static_cast<double>(sketch_buckets));
+  // Per-label span self-time aggregates (span.<label>.self_us with
+  // p50/p99 from the lossless sketches) — the explainer's span layer
+  // reads these, making hotspot runs pair-wise explainable.
+  obs::explain::add_span_label_metrics(report, trace_records,
+                                       &lossless.sketches);
   add_profile_metrics(report, profile);
   add_memory_metrics(report);
   std::uint64_t total_steals = 0;

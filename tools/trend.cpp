@@ -30,6 +30,7 @@
 #include "common/table.h"
 #include "obs/bench_diff.h"
 #include "obs/bench_report.h"
+#include "obs/explain/explain.h"
 #include "obs/runlog.h"
 #include "obs/trend.h"
 
@@ -197,6 +198,37 @@ int main(int argc, char** argv) {
                        TextTable::fmt_sci(r.tolerance.abs, 1)});
       }
       table.print(std::cout);
+      // Auto-explain the worst flagged group on the same screen: rebuild
+      // the exact pair find_regressions judged (newest vs median of
+      // prior) and run the hierarchical differ over it. Best-effort — a
+      // diagnosis failure must not change the gate's verdict.
+      try {
+        const auto& worst = regressions.front();
+        std::vector<JsonValue> group;
+        for (const JsonValue& r : records) {
+          if (r.at("target").as_string() == worst.target &&
+              r.at("config_hash").as_string() == worst.config_hash) {
+            group.push_back(r);
+          }
+        }
+        if (group.size() >= 2) {
+          print_banner(std::cout, "Why (worst group, newest vs median)");
+          const auto explanation = obs::explain::explain_runs(
+              obs::explain::median_of_prior(group),
+              obs::explain::snapshot_newest(group), policy);
+          obs::explain::print_explain_summary(std::cout, explanation);
+          std::cout << "trend: full drill-down: explain --ledger "
+                    << ledger_path << " --target " << worst.target
+                    << " --config " << short_hash(worst.config_hash)
+                    << (tolerances_path.empty()
+                            ? std::string{}
+                            : " --tolerances " + tolerances_path)
+                    << "\n";
+        }
+      } catch (const std::exception& e) {
+        std::cout << "trend: explanation unavailable: " << e.what()
+                  << "\n";
+      }
       std::cerr << "trend: FAIL — " << regressions.size()
                 << " metric(s) regressed vs ledger history:";
       for (const auto& r : regressions) {
